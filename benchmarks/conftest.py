@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures through
+the same experiment modules the CLI uses, in *quick* fidelity (truncated
+solar traces, coarser timestep) so the whole suite completes in minutes.
+Full-fidelity regeneration is available via ``react-repro <artifact>``.
+
+pytest-benchmark conventions used here:
+
+* each artifact is produced exactly once per benchmark (``rounds=1``) —
+  the measured quantity is the cost of regenerating the artifact, and the
+  artifact itself is attached to ``benchmark.extra_info`` so the numbers
+  can be inspected in the saved benchmark JSON.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentSettings
+
+
+#: Fidelity used by the benchmark suite.
+BENCH_SETTINGS = ExperimentSettings(quick=True, quick_trace_cap=300.0)
+
+
+@pytest.fixture(scope="session")
+def bench_settings() -> ExperimentSettings:
+    """Quick-fidelity settings shared by every benchmark."""
+    return BENCH_SETTINGS
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

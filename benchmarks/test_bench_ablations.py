@@ -1,0 +1,156 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These are not artifacts from the paper; they isolate the individual design
+decisions REACT's evaluation argues for:
+
+* bank isolation (REACT) versus a fully interconnected network (Morphy),
+* charge reclamation (parallel -> series on undervoltage) on versus off,
+* bank granularity (many small steps versus one big bank),
+* software-directed longevity guarantees on versus off.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.buffers.morphy import MorphyBuffer
+from repro.buffers.react_adapter import ReactBuffer
+from repro.buffers.static import StaticBuffer
+from repro.core.config import BankSpec, ReactConfig
+from repro.experiments.runner import ExperimentRunner, make_workload
+from repro.units import microfarads, millifarads
+from repro.workloads.radio_transmit import RadioTransmit
+from repro.workloads.sense_compute import SenseAndCompute
+
+
+def run_pair(settings, trace_name, buffers, workload_name="SC"):
+    """Run the same trace/workload against a list of buffers."""
+    runner = ExperimentRunner(settings)
+    trace = settings.trace(trace_name)
+    results = {}
+    for buffer in buffers:
+        workload = make_workload(workload_name, trace_name)
+        results[buffer.name] = runner.run_single(trace, buffer, workload)
+    return results
+
+
+def test_bench_ablation_isolation(benchmark, bench_settings):
+    """Isolated banks (REACT) vs interconnected network (Morphy): switching loss."""
+    results = run_once(
+        benchmark,
+        run_pair,
+        bench_settings,
+        "RF Cart",
+        [ReactBuffer(), MorphyBuffer()],
+        "SC",
+    )
+    react, morphy = results["REACT"], results["Morphy"]
+    benchmark.extra_info["switching_loss"] = {
+        "REACT": react.buffer_ledger["switching_loss"],
+        "Morphy": morphy.buffer_ledger["switching_loss"],
+    }
+    react_loss_fraction = react.buffer_ledger["switching_loss"] / react.buffer_ledger["offered"]
+    morphy_loss_fraction = morphy.buffer_ledger["switching_loss"] / morphy.buffer_ledger["offered"]
+    assert react_loss_fraction < morphy_loss_fraction
+
+
+def test_bench_ablation_reclamation(benchmark, bench_settings):
+    """Charge reclamation on vs off: stranded energy after a long deficit."""
+
+    def run_reclamation_ablation():
+        from repro.core.config import table1_config
+
+        runner = ExperimentRunner(bench_settings)
+        trace = bench_settings.trace("RF Mobile")
+        # Reclamation "off": with the low threshold dropped to the brown-out
+        # voltage the controller only learns about a deficit at the instant
+        # the platform loses power, so the parallel -> series reclamation
+        # steps effectively never run.
+        with_reclaim = ReactBuffer(config=table1_config(), name="REACT")
+        without_reclaim = ReactBuffer(
+            config=table1_config(low_threshold=1.81), name="REACT-no-reclaim"
+        )
+        results = {}
+        for buffer in (with_reclaim, without_reclaim):
+            results[buffer.name] = runner.run_single(trace, buffer, RadioTransmit())
+        return results
+
+    results = run_once(benchmark, run_reclamation_ablation)
+    benchmark.extra_info["work_units"] = {
+        name: result.work_units for name, result in results.items()
+    }
+    assert results["REACT"].work_units >= results["REACT-no-reclaim"].work_units
+
+
+def test_bench_ablation_granularity(benchmark, bench_settings):
+    """Bank granularity: the Table 1 fabric vs a single monolithic bank."""
+
+    def run_granularity_ablation():
+        from repro.core.config import table1_config
+
+        coarse_config = ReactConfig(
+            last_level_capacitance=microfarads(770.0),
+            banks=(BankSpec(unit_capacitance=millifarads(8.6), count=2, label="monolithic"),),
+        )
+        return run_pair(
+            bench_settings,
+            "RF Mobile",
+            [
+                ReactBuffer(config=table1_config(), name="REACT"),
+                ReactBuffer(config=coarse_config, name="REACT-coarse"),
+            ],
+            "SC",
+        )
+
+    results = run_once(benchmark, run_granularity_ablation)
+    benchmark.extra_info["work_units"] = {
+        name: result.work_units for name, result in results.items()
+    }
+    fine = results["REACT"]
+    coarse = results["REACT-coarse"]
+    # Expanding in small steps (Table 1 fabric) avoids the cold-start penalty
+    # of connecting one huge bank, so the fine-grained fabric completes at
+    # least as much application work.
+    assert fine.work_units >= 0.95 * coarse.work_units
+
+
+def test_bench_ablation_longevity(benchmark, bench_settings):
+    """Software-directed longevity guarantees on vs off for the RT benchmark."""
+
+    def run_longevity_ablation():
+        runner = ExperimentRunner(bench_settings)
+        trace = bench_settings.trace("RF Mobile")
+        results = {}
+        for label, use_guarantee in (("guarded", True), ("eager", False)):
+            result = runner.run_single(
+                trace,
+                ReactBuffer(name=f"REACT-{label}"),
+                RadioTransmit(use_longevity_guarantee=use_guarantee),
+            )
+            results[label] = result
+        return results
+
+    results = run_once(benchmark, run_longevity_ablation)
+    benchmark.extra_info["transmissions"] = {
+        label: result.work_units for label, result in results.items()
+    }
+    assert results["guarded"].work_units >= results["eager"].work_units
+    assert (
+        results["guarded"].workload_metrics["failed_operations"]
+        <= results["eager"].workload_metrics["failed_operations"]
+    )
+
+
+def test_bench_single_simulation_throughput(benchmark, bench_settings):
+    """Raw simulator throughput: one SC run on a truncated RF trace.
+
+    This is the only benchmark measured over multiple rounds; it tracks the
+    cost of the core simulation loop itself rather than a paper artifact.
+    """
+    runner = ExperimentRunner(bench_settings)
+    trace = bench_settings.trace("RF Cart")
+
+    def run_one():
+        return runner.run_single(trace, StaticBuffer(millifarads(10.0)), SenseAndCompute())
+
+    result = benchmark.pedantic(run_one, rounds=3, iterations=1)
+    assert result.work_units > 0.0

@@ -1,0 +1,52 @@
+"""Benchmarks for the analytic artifacts: Table 1, Table 3, §3.3 math, §5.1.
+
+These artifacts are cheap to regenerate; they are benchmarked for
+completeness (every table and figure has a harness entry) and their key
+numbers are asserted against the paper's closed-form values.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import (
+    overhead,
+    switching_loss,
+    table1_configuration,
+    table3_traces,
+)
+
+
+def test_bench_table1_configuration(benchmark, bench_settings):
+    """Table 1 — REACT bank configuration and Equation 2 checks."""
+    output = run_once(benchmark, table1_configuration.run, bench_settings, verbose=False)
+    benchmark.extra_info["rows"] = output["rows"]
+    assert output["config"].maximum_capacitance == pytest.approx(18.03e-3, rel=1e-3)
+    assert all(row["satisfies_eq2"] for row in output["sizing_rows"])
+
+
+def test_bench_table3_trace_statistics(benchmark, bench_settings):
+    """Table 3 — power-trace details (duration, mean power, CV)."""
+    output = run_once(benchmark, table3_traces.run, bench_settings, verbose=False)
+    benchmark.extra_info["rows"] = output["rows"]
+    for row in output["rows"]:
+        assert row["avg_power_mW"] == pytest.approx(row["paper_avg_power_mW"], rel=1e-3)
+        assert row["power_cv_percent"] == pytest.approx(row["paper_cv_percent"], rel=0.3)
+
+
+def test_bench_switching_loss_analysis(benchmark, bench_settings):
+    """§3.3.1 / §3.3.4 — reconfiguration loss and reclamation gain."""
+    output = run_once(benchmark, switching_loss.run, bench_settings, verbose=False)
+    benchmark.extra_info["loss_rows"] = output["loss_rows"]
+    by_size = {row["array_size"]: row for row in output["loss_rows"]}
+    assert by_size[4]["model_loss_fraction"] == pytest.approx(0.25, abs=1e-3)
+    assert by_size[8]["model_loss_fraction"] == pytest.approx(0.5625, abs=1e-3)
+
+
+def test_bench_overhead_characterization(benchmark, bench_settings):
+    """§5.1 — REACT software and power overhead."""
+    output = run_once(benchmark, overhead.run, bench_settings, verbose=False)
+    benchmark.extra_info["rows"] = output["rows"]
+    # The hardware overhead should be tens of microwatts, in the paper's range.
+    assert 10e-6 < output["total_overhead_power"] < 200e-6
+    # Polling should cost only a few percent of throughput on bench power.
+    assert abs(output["software_overhead_measured"]) < 0.10

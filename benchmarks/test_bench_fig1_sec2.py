@@ -1,0 +1,37 @@
+"""Benchmarks for Figure 1 and the §2.1 characterization numbers."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig1_static_tradeoff, sec2_characterization
+
+
+def test_bench_fig1_static_tradeoff(benchmark, bench_settings):
+    """Figure 1 — 1 mF vs 300 mF static buffers on a solar pedestrian trace."""
+    output = run_once(benchmark, fig1_static_tradeoff.run, bench_settings, verbose=False)
+    rows = {row["buffer"]: row for row in output["rows"]}
+    benchmark.extra_info["rows"] = output["rows"]
+    # The small buffer charges much sooner and cycles far more often.
+    assert rows["1 mF"]["latency_s"] < rows["300 mF"]["latency_s"]
+    assert rows["1 mF"]["power_cycles"] > rows["300 mF"]["power_cycles"]
+    # The large buffer sustains much longer uninterrupted operation.
+    assert rows["300 mF"]["mean_cycle_s"] > 5.0 * rows["1 mF"]["mean_cycle_s"]
+
+
+def test_bench_sec2_characterization(benchmark, bench_settings):
+    """§2.1 — charge-time ratio, spike structure, and night-time duty cycles."""
+    output = run_once(benchmark, sec2_characterization.run, bench_settings, verbose=False)
+    benchmark.extra_info["summary"] = {
+        "charge_time_ratio": output["charge_time_ratio"],
+        "spike_energy_fraction": output["spike_energy_fraction"],
+        "time_below_fraction": output["time_below_fraction"],
+    }
+    # Paper: the 300 mF buffer takes >8x longer to enable than the 1 mF one.
+    assert output["charge_time_ratio"] > 5.0
+    # Paper: most energy arrives in spikes, most time is spent at low power.
+    assert output["spike_energy_fraction"] > 0.4
+    assert output["time_below_fraction"] > 0.5
+    # Paper: oversized buffers never start at night.
+    night = {row["buffer"]: row for row in output["night_rows"]}
+    assert night["1 mF"]["started"]
+    assert not night["300 mF"]["started"]

@@ -1,0 +1,41 @@
+"""Benchmarks for Figure 6 (characterization timelines) and Figure 7 (aggregate)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig6_voltage_trace, fig7_normalized
+
+
+def test_bench_fig6_voltage_timelines(benchmark, bench_settings):
+    """Figure 6 — buffer voltage and on-time for SC under RF Mobile."""
+    output = run_once(benchmark, fig6_voltage_trace.run, bench_settings, verbose=False)
+    rows = {row["buffer"]: row for row in output["rows"]}
+    benchmark.extra_info["rows"] = output["rows"]
+
+    # REACT starts as fast as the 770 uF buffer and well before the 10 mF one.
+    assert rows["REACT"]["latency_s"] <= 1.3 * rows["770 uF"]["latency_s"]
+    assert rows["10 mF"]["latency_s"] > rows["770 uF"]["latency_s"]
+    # The 770 uF buffer clips harvested energy (visible as 3.6 V plateaus in
+    # the paper's figure); REACT expands instead of clipping.
+    assert rows["770 uF"]["clipped_fraction"] >= rows["REACT"]["clipped_fraction"]
+    # Every timeline stays within the electrical limits.
+    for row in output["rows"]:
+        assert row["peak_voltage"] <= 3.6 + 1e-6
+
+
+def test_bench_fig7_normalized_performance(benchmark, bench_settings):
+    """Figure 7 — mean per-benchmark performance normalized to REACT."""
+    output = run_once(benchmark, fig7_normalized.run, bench_settings, verbose=False)
+    normalized = output["normalized"]
+    improvements = output["improvements"]
+    benchmark.extra_info["normalized"] = normalized
+    benchmark.extra_info["improvements"] = improvements
+
+    overall = normalized["Mean"]
+    # REACT is the reference, so its normalized score is 1.0 by construction.
+    assert overall["REACT"] == 1.0
+    # Paper: REACT improves on every baseline on average (by 19-39 % for the
+    # statics and 26 % for Morphy on the paper's testbed; the direction is
+    # what this reproduction checks).
+    for baseline in ("770 uF", "10 mF", "17 mF", "Morphy"):
+        assert overall[baseline] <= 1.05
+    assert improvements["770 uF"] > 0.10
+    assert improvements["17 mF"] > 0.05

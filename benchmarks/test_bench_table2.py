@@ -1,0 +1,40 @@
+"""Benchmark for Table 2 — DE / SC / RT work completed across traces and buffers.
+
+Regenerates the full Table 2 grid in quick fidelity and checks the
+relationships the paper's text calls out, rather than absolute counts.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import table2_benchmarks
+
+
+def test_bench_table2_full_grid(benchmark, bench_settings):
+    output = run_once(benchmark, table2_benchmarks.run, bench_settings, verbose=False)
+    matrices = output["matrices"]
+    benchmark.extra_info["matrices"] = {
+        workload: {trace: row for trace, row in matrix.items()}
+        for workload, matrix in matrices.items()
+    }
+
+    # The oversized 17 mF buffer never starts on the weakest RF trace, so it
+    # completes no work there (the "-"/0 entries of the paper's table).
+    for workload in ("DE", "SC"):
+        assert matrices[workload]["RF Obstruction"]["17 mF"] == 0.0
+
+    # REACT completes at least roughly as much work as every static buffer on
+    # the volatile RF Mobile trace for the throughput-style benchmarks.
+    for workload in ("DE", "SC"):
+        react = matrices[workload]["RF Mobile"]["REACT"]
+        for static_name in ("770 uF", "10 mF", "17 mF"):
+            assert react >= 0.9 * matrices[workload]["RF Mobile"][static_name]
+
+    # The reactivity-limited 770 uF buffer collapses on the longevity-bound
+    # RT benchmark relative to the high-capacity designs.
+    rt_mean = matrices["RT"]["Mean"]
+    assert rt_mean["770 uF"] < 0.7 * rt_mean["REACT"]
+
+    # REACT's mean performance leads every static buffer on SC.
+    sc_mean = matrices["SC"]["Mean"]
+    assert sc_mean["REACT"] >= max(sc_mean["770 uF"], sc_mean["10 mF"], sc_mean["17 mF"])

@@ -1,0 +1,21 @@
+"""Benchmark for Table 4 — system latency across traces and buffers."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table4_latency
+
+
+def test_bench_table4_latency(benchmark, bench_settings):
+    output = run_once(benchmark, table4_latency.run, bench_settings, verbose=False)
+    matrix = output["matrix"]
+    benchmark.extra_info["matrix"] = matrix
+    means = matrix["Mean"]
+
+    # Paper: REACT matches the smallest static buffer's latency ...
+    assert means["REACT"] <= 1.25 * means["770 uF"]
+    # ... and is several times faster than the equal-capacity static buffer
+    # (7.7x in the paper; the exact factor depends on the trace realisations).
+    assert output["ratios"]["17 mF / REACT"] > 3.0
+    # Morphy's smaller minimum configuration makes it at least as fast as REACT.
+    assert means["Morphy"] <= means["REACT"] + 1.0
+    # The 17 mF buffer fails to start on at least one weak trace ("-" entries).
+    assert any(row.get("17 mF") == float("inf") for row in matrix.values())

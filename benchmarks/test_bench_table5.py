@@ -1,0 +1,29 @@
+"""Benchmark for Table 5 — Packet Forwarding packets received and retransmitted."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table5_packet_forwarding
+
+
+def test_bench_table5_packet_forwarding(benchmark, bench_settings):
+    output = run_once(benchmark, table5_packet_forwarding.run, bench_settings, verbose=False)
+    received = output["received"]
+    transmitted = output["transmitted"]
+    benchmark.extra_info["received"] = received
+    benchmark.extra_info["transmitted"] = transmitted
+
+    rx_mean = received["Mean"]
+    tx_mean = transmitted["Mean"]
+
+    # Paper: REACT receives and forwards more packets than any static buffer
+    # on average, because it is awake when packets arrive and can bank the
+    # energy for the retransmission.
+    assert rx_mean["REACT"] >= 0.9 * max(rx_mean["770 uF"], rx_mean["10 mF"], rx_mean["17 mF"])
+    assert tx_mean["REACT"] >= 0.9 * max(tx_mean["770 uF"], tx_mean["10 mF"], tx_mean["17 mF"])
+    # The reactivity-limited small buffer forwards almost nothing.
+    assert tx_mean["770 uF"] < 0.5 * tx_mean["REACT"]
+    # Forwarded packets can never exceed received packets for any system.
+    for trace_name, row in transmitted.items():
+        if trace_name == "Mean":
+            continue
+        for buffer_name, tx_count in row.items():
+            assert tx_count <= received[trace_name][buffer_name] + 1e-9

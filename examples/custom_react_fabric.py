@@ -1,0 +1,69 @@
+"""Designing a custom REACT bank fabric for a new platform.
+
+Walks through sizing a REACT fabric for a hypothetical soil-moisture node:
+pick a last-level buffer for the required reactivity, choose bank sizes
+that respect the Equation 2 constraint, and compare the resulting fabric
+against the paper's Table 1 configuration on a solar trace.
+
+Run with::
+
+    python examples/custom_react_fabric.py
+"""
+
+from repro import (
+    BankSpec,
+    BatterylessSystem,
+    ReactBuffer,
+    ReactConfig,
+    SenseAndCompute,
+    Simulator,
+    table1_config,
+)
+from repro.core.sizing import max_unit_capacitance, voltage_after_series_switch
+from repro.harvester.synthetic import solar_trace
+from repro.units import microfarads
+
+
+def design_fabric() -> ReactConfig:
+    """Size a three-bank fabric and print the Equation 1/2 checks."""
+    last_level = microfarads(470.0)
+    high, low = 3.5, 1.9
+
+    print("Sizing constraint (Equation 2) for a 470 uF last-level buffer:")
+    for cells in (2, 3, 4):
+        limit = max_unit_capacitance(cells, last_level, high, low)
+        limit_text = f"{limit * 1e6:.0f} uF" if limit != float("inf") else "unconstrained"
+        print(f"  {cells}-cell bank: unit capacitance must stay below {limit_text}")
+
+    banks = (
+        BankSpec(unit_capacitance=microfarads(220.0), count=3, label="fast"),
+        BankSpec(unit_capacitance=microfarads(470.0), count=3, label="medium"),
+        BankSpec(unit_capacitance=microfarads(2200.0), count=2, supercapacitor=True, label="bulk"),
+    )
+    config = ReactConfig(last_level_capacitance=last_level, banks=banks)
+
+    print("\nReclamation spike check (Equation 1):")
+    for spec in banks:
+        spike = voltage_after_series_switch(spec.count, spec.unit_capacitance, last_level, low)
+        print(f"  {spec.label}: last-level buffer reaches {spike:.2f} V after reclamation "
+              f"(limit {high} V)")
+    print(f"\nFabric range: {config.minimum_capacitance * 1e6:.0f} uF – "
+          f"{config.maximum_capacitance * 1e3:.2f} mF\n")
+    return config
+
+
+def main() -> None:
+    custom = design_fabric()
+    trace = solar_trace(duration=900.0, mean_power=1.5e-3, seed=11, name="Garden solar")
+
+    print(f"{'fabric':16s} {'latency':>9s} {'measurements':>13s}")
+    for name, config in (("Table 1 fabric", table1_config()), ("custom fabric", custom)):
+        buffer = ReactBuffer(config=config, name=name)
+        system = BatterylessSystem.build(trace, buffer, SenseAndCompute())
+        result = Simulator(system).run()
+        latency = f"{result.latency:.1f} s" if result.started else "never"
+        print(f"{name:16s} {latency:>9s} {result.work_units:>13.0f}")
+
+
+if __name__ == "__main__":
+    main()

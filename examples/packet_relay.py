@@ -1,0 +1,49 @@
+"""A batteryless packet relay: receive unpredictable packets, forward them.
+
+Reproduces the paper's Packet Forwarding scenario as an application: a
+store-and-forward relay powered by office RF.  The example contrasts a
+static buffer sized for responsiveness (770 uF), one sized for the
+transmission energy (10 mF), and REACT, which uses software-directed
+longevity levels for the receive and transmit tasks and re-allocates the
+transmit reservation when a new packet arrives (energy fungibility).
+
+Run with::
+
+    python examples/packet_relay.py
+"""
+
+from repro import BatterylessSystem, PacketForwarding, ReactBuffer, Simulator, StaticBuffer
+from repro.harvester.synthetic import generate_table3_trace
+from repro.units import microfarads, millifarads
+
+
+def main() -> None:
+    trace = generate_table3_trace("RF Cart")
+    print(f"Replaying {trace.name}: {trace.duration:.0f} s, "
+          f"{trace.mean_power * 1e3:.2f} mW average harvested power")
+    print("Packets arrive unpredictably (Poisson, ~5.5 s mean inter-arrival)\n")
+
+    buffers = [
+        StaticBuffer(microfarads(770.0), name="770 uF static"),
+        StaticBuffer(millifarads(10.0), name="10 mF static"),
+        ReactBuffer(),
+    ]
+
+    print(f"{'buffer':16s} {'received':>9s} {'forwarded':>10s} {'missed':>7s} {'failed tx':>10s}")
+    for buffer in buffers:
+        workload = PacketForwarding(mean_interarrival=5.5, execute_kernel=True)
+        system = BatterylessSystem.build(trace, buffer, workload)
+        result = Simulator(system).run()
+        metrics = result.workload_metrics
+        print(
+            f"{buffer.name:16s} {metrics.get('packets_received', 0):>9.0f} "
+            f"{result.work_units:>10.0f} {metrics['missed_events']:>7.0f} "
+            f"{metrics['failed_operations']:>10.0f}"
+        )
+
+    print("\nREACT receives more packets because it is on when they arrive, and")
+    print("forwards more because banked energy guarantees each transmission completes.")
+
+
+if __name__ == "__main__":
+    main()

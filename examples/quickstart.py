@@ -1,0 +1,46 @@
+"""Quickstart: compare REACT against a static buffer on one power trace.
+
+Runs the Sense-and-Compute benchmark on the RF Mobile trace with a 770 uF
+static buffer, the equal-capacity 17 mF static buffer, and REACT, then
+prints latency, on-time, and measurements completed.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    BatterylessSystem,
+    ReactBuffer,
+    SenseAndCompute,
+    Simulator,
+    StaticBuffer,
+    generate_table3_trace,
+)
+from repro.units import microfarads, millifarads
+
+
+def main() -> None:
+    trace = generate_table3_trace("RF Mobile")
+    print(f"Replaying {trace.name}: {trace.duration:.0f} s, "
+          f"{trace.mean_power * 1e3:.2f} mW average harvested power\n")
+
+    buffers = [
+        StaticBuffer(microfarads(770.0), name="770 uF static"),
+        StaticBuffer(millifarads(17.0), name="17 mF static"),
+        ReactBuffer(),
+    ]
+
+    print(f"{'buffer':18s} {'latency':>9s} {'on-time':>9s} {'measurements':>13s}")
+    for buffer in buffers:
+        system = BatterylessSystem.build(trace, buffer, SenseAndCompute(execute_kernel=True))
+        result = Simulator(system).run()
+        latency = f"{result.latency:.1f} s" if result.latency is not None else "never"
+        print(
+            f"{buffer.name:18s} {latency:>9s} {result.on_time:>7.1f} s "
+            f"{result.work_units:>13.0f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""A solar-powered acoustic sensing node over a (shortened) day cycle.
+
+Builds the harvesting chain from physical models — diurnal irradiance, a
+5 cm^2 / 22 % panel, and a bq25570-style boost regulator — instead of a
+pre-recorded power trace, then runs the Sense-and-Compute workload on a
+REACT buffer and on the small static buffer a designer worried about
+responsiveness would have picked.  The example prints how many sound-level
+readings each design captured and the first few filtered readings produced
+by the FIR kernel.
+
+Run with::
+
+    python examples/solar_sensor_node.py
+"""
+
+from repro import BatterylessSystem, ReactBuffer, SenseAndCompute, Simulator, StaticBuffer
+from repro.harvester.regulator import BoostRegulator
+from repro.harvester.solar import SolarPanel, diurnal_irradiance
+from repro.sim.recorder import Recorder
+from repro.units import microfarads
+
+
+def build_trace():
+    """Morning-to-noon irradiance converted to electrical power."""
+    panel = SolarPanel(area_cm2=5.0, efficiency=0.22)
+    irradiance = diurnal_irradiance(
+        duration=30 * 60.0,          # half an hour of simulated deployment
+        sample_period=5.0,
+        peak_irradiance=120.0,       # a shaded indoor/outdoor window sill
+        sunrise=0.0,
+        sunset=40 * 60.0,
+        cloud_fraction=0.5,
+        seed=3,
+    )
+    return panel.trace_from_irradiance(irradiance, sample_period=5.0, name="Window sill solar")
+
+
+def main() -> None:
+    trace = build_trace()
+    print(f"{trace.name}: {trace.duration / 60.0:.0f} minutes, "
+          f"{trace.mean_power * 1e3:.2f} mW mean harvested power\n")
+
+    for buffer in (StaticBuffer(microfarads(770.0), name="770 uF static"), ReactBuffer()):
+        workload = SenseAndCompute(execute_kernel=True)
+        system = BatterylessSystem.build(
+            trace, buffer, workload, regulator=BoostRegulator()
+        )
+        recorder = Recorder(record_period=10.0)
+        result = Simulator(system, recorder=recorder).run()
+        readings = workload.readings
+        print(f"--- {buffer.name} ---")
+        print(f"started after      : "
+              f"{result.latency:.1f} s" if result.started else "never started")
+        print(f"deadlines captured : {result.work_units:.0f}")
+        print(f"deadlines missed   : {result.workload_metrics['missed_events']:.0f}")
+        print(f"power cycles       : {result.brownout_count}")
+        if readings:
+            preview = ", ".join(f"{value:.2f}" for value in readings[:5])
+            print(f"first readings     : {preview}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so the
+package can also be installed in environments whose tooling predates PEP 660
+editable installs (e.g. ``pip install -e . --no-use-pep517`` without the
+``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

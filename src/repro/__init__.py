@@ -1,0 +1,99 @@
+"""REACT reproduction: energy-adaptive buffering for batteryless systems.
+
+This library reproduces the system described in *"Energy-adaptive Buffering
+for Efficient, Responsive, and Persistent Batteryless Systems"* (Williams &
+Hicks, ASPLOS 2024) as a laptop-scale simulation: the REACT reconfigurable
+capacitor-bank buffer, the static and Morphy baselines it is evaluated
+against, the energy-harvesting and platform substrates it runs on, and the
+experiment harness that regenerates every table and figure of the paper's
+evaluation.
+
+Quickstart::
+
+    from repro import (
+        BatterylessSystem, Simulator, ReactBuffer, StaticBuffer,
+        SenseAndCompute, generate_table3_trace,
+    )
+
+    trace = generate_table3_trace("RF Mobile")
+    system = BatterylessSystem.build(trace, ReactBuffer(), SenseAndCompute())
+    result = Simulator(system).run()
+    print(result.work_units, result.latency)
+"""
+
+from repro.buffers import (
+    CapybaraBuffer,
+    DewdropBuffer,
+    EnergyBuffer,
+    MorphyBuffer,
+    ReactBuffer,
+    StaticBuffer,
+)
+from repro.core import (
+    BankSpec,
+    CapacitorBank,
+    ReactConfig,
+    ReactController,
+    ReactHardware,
+    table1_config,
+)
+from repro.harvester import (
+    HarvestingFrontend,
+    PowerTrace,
+    generate_table3_trace,
+    generate_table3_traces,
+    rf_trace,
+    solar_trace,
+)
+from repro.platform import Microcontroller, MSP430FR5994, PowerGate, PowerMode
+from repro.sim import BatterylessSystem, Recorder, SimulationResult, Simulator
+from repro.workloads import (
+    DataEncryption,
+    PacketForwarding,
+    RadioTransmit,
+    SenseAndCompute,
+    Workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # buffers
+    "EnergyBuffer",
+    "StaticBuffer",
+    "MorphyBuffer",
+    "ReactBuffer",
+    "CapybaraBuffer",
+    "DewdropBuffer",
+    # REACT core
+    "ReactConfig",
+    "BankSpec",
+    "table1_config",
+    "CapacitorBank",
+    "ReactHardware",
+    "ReactController",
+    # harvester
+    "PowerTrace",
+    "HarvestingFrontend",
+    "generate_table3_trace",
+    "generate_table3_traces",
+    "rf_trace",
+    "solar_trace",
+    # platform
+    "Microcontroller",
+    "MSP430FR5994",
+    "PowerGate",
+    "PowerMode",
+    # workloads
+    "Workload",
+    "DataEncryption",
+    "SenseAndCompute",
+    "RadioTransmit",
+    "PacketForwarding",
+    # simulation
+    "BatterylessSystem",
+    "Simulator",
+    "Recorder",
+    "SimulationResult",
+]

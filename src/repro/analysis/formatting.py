@@ -1,0 +1,70 @@
+"""Plain-text table rendering for experiment output.
+
+The experiment harness prints the same rows the paper's tables report;
+these helpers keep the formatting consistent (and dependency-free — no
+plotting libraries are required to inspect any result).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def _format_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 100.0:
+            return f"{value:.0f}"
+        if abs(value) >= 1.0:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: Optional[str] = None) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return (title + "\n(no rows)") if title else "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[_format_cell(row.get(column)) for column in columns] for row in rows]
+    widths = [
+        max(len(column), max(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(column.ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_matrix(
+    matrix: Mapping[str, Mapping[str, float]],
+    row_label: str = "row",
+    title: Optional[str] = None,
+) -> str:
+    """Render a nested ``{row: {column: value}}`` mapping as a table."""
+    rows = []
+    for row_name, columns in matrix.items():
+        row: Dict[str, object] = {row_label: row_name}
+        row.update(columns)
+        rows.append(row)
+    return format_table(rows, title)
+
+
+def percent(value: float, digits: int = 1) -> str:
+    """Format a ratio as a signed percentage string (0.256 -> '+25.6%')."""
+    return f"{value * 100.0:+.{digits}f}%"

@@ -1,0 +1,33 @@
+"""Energy-buffer architectures evaluated in the paper.
+
+Every buffer implements the same :class:`EnergyBuffer` interface so the
+simulator, workloads, and experiment harness treat them interchangeably:
+
+* :class:`StaticBuffer` — a single fixed capacitor (the 770 µF, 10 mF, and
+  17 mF baselines).
+* :class:`MorphyBuffer` — the fully interconnected switched-capacitor
+  network of Yang et al. (SenSys'21), which pays a dissipative
+  charge-equalization cost on every reconfiguration.
+* :class:`ReactBuffer` — REACT's isolated, reconfigurable capacitor banks
+  behind a small last-level buffer (the paper's contribution).
+* :class:`CapybaraBuffer` and :class:`DewdropBuffer` — related-work designs
+  (§2.3–2.4) provided for extension experiments.
+"""
+
+from repro.buffers.base import BufferLedger, EnergyBuffer
+from repro.buffers.static import StaticBuffer
+from repro.buffers.morphy import MorphyBuffer, MorphyConfigurationTable
+from repro.buffers.react_adapter import ReactBuffer
+from repro.buffers.capybara import CapybaraBuffer
+from repro.buffers.dewdrop import DewdropBuffer
+
+__all__ = [
+    "EnergyBuffer",
+    "BufferLedger",
+    "StaticBuffer",
+    "MorphyBuffer",
+    "MorphyConfigurationTable",
+    "ReactBuffer",
+    "CapybaraBuffer",
+    "DewdropBuffer",
+]

@@ -1,0 +1,188 @@
+"""Common interface for all energy-buffer architectures.
+
+The simulator interacts with a buffer through four operations per step —
+harvest, draw, housekeeping, and telemetry — plus the longevity-guarantee
+API that longevity-aware software (the RT and PF workloads) uses on buffers
+that support it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class BufferLedger:
+    """Cumulative energy accounting for a whole buffer architecture.
+
+    The end-to-end efficiency experiments reduce to comparing these fields:
+    energy the environment offered, energy actually stored, energy delivered
+    to the load, and the three loss channels (overvoltage clipping, leakage,
+    and internal switching/transfer dissipation).
+    """
+
+    offered: float = 0.0
+    stored: float = 0.0
+    delivered: float = 0.0
+    clipped: float = 0.0
+    leaked: float = 0.0
+    switching_loss: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "offered": self.offered,
+            "stored": self.stored,
+            "delivered": self.delivered,
+            "clipped": self.clipped,
+            "leaked": self.leaked,
+            "switching_loss": self.switching_loss,
+        }
+
+    @property
+    def capture_efficiency(self) -> float:
+        """Fraction of offered energy that was stored rather than clipped."""
+        if self.offered <= 0.0:
+            return 1.0
+        return self.stored / self.offered
+
+    @property
+    def delivery_efficiency(self) -> float:
+        """Fraction of offered energy that reached the load."""
+        if self.offered <= 0.0:
+            return 0.0
+        return self.delivered / self.offered
+
+
+class EnergyBuffer(ABC):
+    """Abstract energy buffer between the harvester and the platform."""
+
+    #: Human-readable name used in result tables ("770 uF", "REACT", ...).
+    name: str = "buffer"
+
+    #: Whether software can set longevity guarantees on this buffer.
+    supports_longevity: bool = False
+
+    def __init__(self) -> None:
+        self.ledger = BufferLedger()
+        self._longevity_request: float = 0.0
+
+    # -- telemetry ------------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def output_voltage(self) -> float:
+        """Voltage presented to the power gate / computational backend."""
+
+    @property
+    @abstractmethod
+    def stored_energy(self) -> float:
+        """Total energy currently stored anywhere in the buffer (joules)."""
+
+    @property
+    @abstractmethod
+    def capacitance(self) -> float:
+        """Present equivalent capacitance seen at the buffer output (farads)."""
+
+    @property
+    @abstractmethod
+    def max_capacitance(self) -> float:
+        """Largest equivalent capacitance the buffer can be configured to."""
+
+    def snapshot(self) -> Dict[str, float]:
+        """Per-step telemetry for the recorder."""
+        return {
+            "voltage": self.output_voltage,
+            "stored_energy": self.stored_energy,
+            "capacitance": self.capacitance,
+        }
+
+    # -- energy flow ----------------------------------------------------------
+
+    @abstractmethod
+    def harvest(self, energy: float, dt: float) -> float:
+        """Absorb up to ``energy`` joules offered by the harvester.
+
+        Returns the energy actually stored; the difference is clipped.
+        Implementations must update :attr:`ledger`.
+        """
+
+    @abstractmethod
+    def draw(self, current: float, dt: float) -> float:
+        """Supply the load with ``current`` amperes for ``dt`` seconds.
+
+        Returns the energy delivered.  Implementations must update
+        :attr:`ledger`.
+        """
+
+    @abstractmethod
+    def housekeeping(self, time: float, dt: float, system_on: bool) -> None:
+        """Apply leakage and run any controller logic for this step."""
+
+    def overhead_current(self, system_on: bool) -> float:
+        """Extra load current the buffer's own circuitry adds (amperes)."""
+        return 0.0
+
+    # -- longevity guarantees --------------------------------------------------
+
+    def request_longevity(self, energy: float) -> None:
+        """Ask the buffer to accumulate ``energy`` joules before proceeding.
+
+        Only meaningful when :attr:`supports_longevity` is True; the base
+        implementation records the request so subclasses can honour it.
+        """
+        if energy < 0.0:
+            raise ValueError(f"requested energy must be non-negative, got {energy}")
+        self._longevity_request = energy
+
+    def longevity_satisfied(self) -> bool:
+        """True when the pending longevity request (if any) is met."""
+        return self.usable_energy() >= self._longevity_request
+
+    def clear_longevity(self) -> None:
+        """Drop any pending longevity request."""
+        self._longevity_request = 0.0
+
+    @property
+    def longevity_request(self) -> float:
+        """The currently requested reserve energy in joules (0 when none)."""
+        return self._longevity_request
+
+    def usable_energy(self) -> float:
+        """Energy extractable before the platform would brown out.
+
+        Subclasses refine this; the default is the total stored energy,
+        which is an optimistic surrogate.
+        """
+        return self.stored_energy
+
+    def can_reach_voltage(self, voltage: float) -> bool:
+        """Whether the output could still reach ``voltage`` without new input.
+
+        Used by the simulator's post-trace drain logic to decide when the
+        system can no longer restart.  The default assumes all stored energy
+        could be concentrated onto the present output capacitance, which is
+        a safe (conservative-toward-continuing) over-approximation.
+        """
+        if voltage <= 0.0:
+            return True
+        needed = 0.5 * self.capacitance * voltage * voltage
+        return self.stored_energy >= needed
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Restore the buffer to its cold-start state for a fresh run."""
+
+    def _reset_base(self) -> None:
+        """Helper for subclasses: clear the ledger and longevity state."""
+        self.ledger = BufferLedger()
+        self._longevity_request = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"V={self.output_voltage:.3f} V, C={self.capacitance * 1e3:.3f} mF)"
+        )

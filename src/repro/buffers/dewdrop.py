@@ -1,0 +1,63 @@
+"""Dewdrop-style adaptive enable voltage on a single capacitor (NSDI'11).
+
+Dewdrop keeps a single static capacitor but varies the *enable voltage*
+according to projected task needs: a cheap task can start at a lower
+voltage (better reactivity), an expensive one waits for a higher voltage
+(better longevity).  Energy is fully fungible, but the design still suffers
+the reactivity-longevity tradeoff of the underlying capacitor size (§2.4).
+
+Like Capybara, this is a related-work extension rather than one of the
+paper's evaluated baselines; it lets users reproduce the argument that
+varying the enable point alone cannot match an energy-adaptive capacitance.
+"""
+
+from __future__ import annotations
+
+from repro.buffers.static import StaticBuffer
+from repro.exceptions import ConfigurationError
+from repro.units import capacitor_energy
+
+
+class DewdropBuffer(StaticBuffer):
+    """A static capacitor whose effective enable point tracks task energy.
+
+    The buffer itself is a plain capacitor; the adaptive part is the
+    longevity API, which converts a requested task energy into the voltage
+    the capacitor must reach before the task should start.
+    """
+
+    supports_longevity = True
+
+    def __init__(
+        self,
+        capacitance: float,
+        max_voltage: float = 3.6,
+        brownout_voltage: float = 1.8,
+        minimum_enable_voltage: float = 2.2,
+        name: str = "Dewdrop",
+    ) -> None:
+        super().__init__(
+            capacitance=capacitance,
+            max_voltage=max_voltage,
+            brownout_voltage=brownout_voltage,
+            name=name,
+        )
+        if not brownout_voltage < minimum_enable_voltage <= max_voltage:
+            raise ConfigurationError(
+                "minimum enable voltage must lie between brown-out and max voltage"
+            )
+        self.minimum_enable_voltage = minimum_enable_voltage
+
+    def required_voltage(self, task_energy: float) -> float:
+        """Voltage the capacitor must reach before a task of ``task_energy`` starts."""
+        if task_energy < 0.0:
+            raise ValueError(f"task energy must be non-negative, got {task_energy}")
+        floor_energy = capacitor_energy(self.capacitance, self.brownout_voltage)
+        needed = floor_energy + task_energy
+        voltage = (2.0 * needed / self.capacitance) ** 0.5
+        return max(self.minimum_enable_voltage, min(voltage, self.max_voltage))
+
+    def longevity_satisfied(self) -> bool:
+        if self.longevity_request <= 0.0:
+            return True
+        return self.output_voltage >= self.required_voltage(self.longevity_request)

@@ -1,0 +1,158 @@
+"""REACT exposed through the common :class:`EnergyBuffer` interface.
+
+:class:`ReactBuffer` glues the hardware fabric model and the software
+controller together so the simulator can drive REACT exactly like any
+static buffer: harvest, draw, housekeeping.  The adapter is also where
+REACT's measured overheads (per-bank quiescent power and the 10 Hz polling
+cost) are charged against the system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.buffers.base import EnergyBuffer
+from repro.core.config import ReactConfig, table1_config
+from repro.core.controller import ReactController
+from repro.core.hardware import ReactHardware
+from repro.units import milliamps
+
+
+class ReactBuffer(EnergyBuffer):
+    """Energy-adaptive buffer built from REACT's reconfigurable bank fabric."""
+
+    supports_longevity = True
+
+    def __init__(
+        self,
+        config: Optional[ReactConfig] = None,
+        name: str = "REACT",
+        active_current_hint: float = milliamps(1.5),
+    ) -> None:
+        super().__init__()
+        self.config = config or table1_config()
+        self.hardware = ReactHardware(self.config)
+        self.controller = ReactController(self.hardware, self.config)
+        self.name = name
+        self.active_current_hint = active_current_hint
+        self._leak_baseline = 0.0
+        self._transfer_baseline = 0.0
+        self._clip_baseline = 0.0
+
+    # -- telemetry ----------------------------------------------------------------
+
+    @property
+    def output_voltage(self) -> float:
+        return self.hardware.output_voltage
+
+    @property
+    def stored_energy(self) -> float:
+        return self.hardware.stored_energy
+
+    @property
+    def capacitance(self) -> float:
+        return self.hardware.equivalent_capacitance
+
+    @property
+    def max_capacitance(self) -> float:
+        return self.config.maximum_capacitance
+
+    @property
+    def capacitance_level(self) -> int:
+        """Number of bank expansion steps currently applied."""
+        return self.hardware.capacitance_level
+
+    def usable_energy(self) -> float:
+        return self.hardware.usable_energy()
+
+    def can_reach_voltage(self, voltage: float) -> bool:
+        """The output can only rise (without input) via bank replenishment.
+
+        Charge stranded on banks below the target voltage cannot lift the
+        last-level buffer above it, so once the highest bank output falls
+        below the enable voltage a powered-off REACT system stays off.
+        """
+        if self.hardware.output_voltage >= voltage:
+            return True
+        return any(
+            bank.output_voltage > voltage for bank in self.hardware.connected_banks
+        )
+
+    def snapshot(self) -> Dict[str, float]:
+        snapshot = super().snapshot()
+        snapshot["capacitance_level"] = float(self.capacitance_level)
+        snapshot["connected_banks"] = float(len(self.hardware.connected_banks))
+        return snapshot
+
+    # -- energy flow ----------------------------------------------------------------
+
+    def harvest(self, energy: float, dt: float) -> float:
+        self.ledger.offered += energy
+        stored = self.hardware.harvest(energy)
+        self.ledger.stored += stored
+        clipped_now = self.hardware.energy_clipped - self._clip_baseline
+        self._clip_baseline = self.hardware.energy_clipped
+        self.ledger.clipped += clipped_now
+        return stored
+
+    def draw(self, current: float, dt: float) -> float:
+        delivered = self.hardware.draw(current, dt)
+        self.ledger.delivered += delivered
+        return delivered
+
+    def housekeeping(self, time: float, dt: float, system_on: bool) -> None:
+        # Diode-gated replenishment of the last-level buffer is a passive
+        # hardware path: it happens whether or not the MCU is awake.
+        self.hardware.replenish()
+        self.hardware.apply_leakage(dt)
+        if system_on:
+            # The controller is software on the target MCU, so bank stepping
+            # only happens while the platform is powered.
+            self.controller.poll(time)
+            self.hardware.replenish()
+        self._sync_ledger()
+
+    def _sync_ledger(self) -> None:
+        leaked_now = self.hardware.energy_leaked - self._leak_baseline
+        self._leak_baseline = self.hardware.energy_leaked
+        self.ledger.leaked += leaked_now
+        transfer_now = self.hardware.transfer_loss - self._transfer_baseline
+        self._transfer_baseline = self.hardware.transfer_loss
+        self.ledger.switching_loss += transfer_now
+        clipped_now = self.hardware.energy_clipped - self._clip_baseline
+        self._clip_baseline = self.hardware.energy_clipped
+        self.ledger.clipped += clipped_now
+
+    def overhead_current(self, system_on: bool) -> float:
+        """REACT's own power cost, expressed as a current on the buffer."""
+        voltage = max(self.output_voltage, self.config.brownout_voltage)
+        hardware_current = self.controller.hardware_overhead_power() / voltage
+        if not system_on:
+            return hardware_current
+        software_current = self.controller.software_overhead_current(
+            self.active_current_hint
+        )
+        return hardware_current + software_current
+
+    # -- longevity guarantees -----------------------------------------------------------
+
+    def request_longevity(self, energy: float) -> None:
+        super().request_longevity(energy)
+        self.controller.set_minimum_energy(energy)
+
+    def longevity_satisfied(self) -> bool:
+        return self.controller.longevity_satisfied()
+
+    def clear_longevity(self) -> None:
+        super().clear_longevity()
+        self.controller.clear_minimum_energy()
+
+    # -- lifecycle ------------------------------------------------------------------------
+
+    def reset(self) -> None:
+        self.hardware.reset()
+        self.controller.reset()
+        self._leak_baseline = 0.0
+        self._transfer_baseline = 0.0
+        self._clip_baseline = 0.0
+        self._reset_base()

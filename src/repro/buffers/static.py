@@ -1,0 +1,122 @@
+"""Fixed-size (static) buffer capacitor — the conventional baseline.
+
+A static buffer is a single capacitor sized at design time.  Its behaviour
+embodies the reactivity/longevity/efficiency tradeoff the paper analyzes in
+§2: a small capacitor charges quickly but clips harvested energy whenever
+input power exceeds demand; a large one captures surplus energy but enables
+late and loses more cold-start energy to leakage.
+"""
+
+from __future__ import annotations
+
+from repro.buffers.base import EnergyBuffer
+from repro.capacitors.capacitor import Capacitor
+from repro.capacitors.leakage import LeakageModel, VoltageProportionalLeakage
+from repro.exceptions import ConfigurationError
+from repro.units import capacitor_energy
+
+#: Default leakage density: amperes of leakage per farad at the rated voltage.
+#: Chosen to match "typical" (not worst-case datasheet) figures for the
+#: ceramic / electrolytic parts the paper's prototypes use.
+DEFAULT_LEAKAGE_PER_FARAD = 3e-3
+
+
+class StaticBuffer(EnergyBuffer):
+    """A single fixed buffer capacitor behind the harvester.
+
+    Parameters
+    ----------
+    capacitance:
+        Buffer size in farads (the paper evaluates 770 µF, 10 mF, 17 mF).
+    max_voltage:
+        Overvoltage-protection clamp; harvested energy beyond this point is
+        burned off as heat (3.6 V in the testbed).
+    brownout_voltage:
+        Voltage below which stored energy cannot power the platform; used
+        for the ``usable_energy`` surrogate.
+    leakage:
+        Optional explicit leakage model; by default leakage scales with the
+        capacitance (bigger banks leak more).
+    """
+
+    supports_longevity = False
+
+    def __init__(
+        self,
+        capacitance: float,
+        max_voltage: float = 3.6,
+        brownout_voltage: float = 1.8,
+        leakage: LeakageModel | None = None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__()
+        if capacitance <= 0.0:
+            raise ConfigurationError(f"capacitance must be positive, got {capacitance}")
+        if max_voltage <= brownout_voltage:
+            raise ConfigurationError(
+                "max voltage must exceed the brown-out voltage "
+                f"({max_voltage} <= {brownout_voltage})"
+            )
+        if leakage is None:
+            leakage = VoltageProportionalLeakage(
+                rated_current=DEFAULT_LEAKAGE_PER_FARAD * capacitance,
+                rated_voltage=6.3,
+            )
+        self.brownout_voltage = brownout_voltage
+        self._capacitor = Capacitor(
+            capacitance=capacitance,
+            rated_voltage=max_voltage,
+            leakage=leakage,
+            name=name or "static",
+        )
+        self.name = name or f"{capacitance * 1e6:.0f} uF"
+
+    # -- telemetry -----------------------------------------------------------------
+
+    @property
+    def output_voltage(self) -> float:
+        return self._capacitor.voltage
+
+    @property
+    def stored_energy(self) -> float:
+        return self._capacitor.energy
+
+    @property
+    def capacitance(self) -> float:
+        return self._capacitor.capacitance
+
+    @property
+    def max_capacitance(self) -> float:
+        return self._capacitor.capacitance
+
+    @property
+    def max_voltage(self) -> float:
+        """Overvoltage clamp of the buffer."""
+        return self._capacitor.rated_voltage
+
+    def usable_energy(self) -> float:
+        floor = capacitor_energy(self._capacitor.capacitance, self.brownout_voltage)
+        return max(0.0, self._capacitor.energy - floor)
+
+    # -- energy flow -------------------------------------------------------------------
+
+    def harvest(self, energy: float, dt: float) -> float:
+        self.ledger.offered += energy
+        stored = self._capacitor.charge_with_energy(energy)
+        self.ledger.stored += stored
+        self.ledger.clipped += energy - stored
+        return stored
+
+    def draw(self, current: float, dt: float) -> float:
+        delivered = self._capacitor.discharge_current(current, dt)
+        self.ledger.delivered += delivered
+        return delivered
+
+    def housekeeping(self, time: float, dt: float, system_on: bool) -> None:
+        self.ledger.leaked += self._capacitor.apply_leakage(dt)
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def reset(self) -> None:
+        self._capacitor.reset()
+        self._reset_base()

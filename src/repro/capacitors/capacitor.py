@@ -1,0 +1,236 @@
+"""Single-capacitor charge/energy model.
+
+A :class:`Capacitor` tracks its stored charge and exposes charge, discharge,
+and leakage operations with explicit energy accounting.  Every joule that
+enters or leaves the component is attributed to one of:
+
+* ``energy_absorbed`` — harvested energy actually stored,
+* ``energy_delivered`` — energy handed to the load,
+* ``energy_clipped`` — harvested energy discarded because the capacitor was
+  at its rated voltage (the "burned off as heat" loss the paper describes
+  for small static buffers),
+* ``energy_leaked`` — energy lost to self-discharge.
+
+These counters are what the end-to-end efficiency experiments (Table 2,
+Figure 7) aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.capacitors.leakage import LeakageModel, NoLeakage
+from repro.exceptions import ConfigurationError
+from repro.units import capacitor_energy
+
+
+@dataclass
+class EnergyLedger:
+    """Cumulative energy accounting for a storage element."""
+
+    absorbed: float = 0.0
+    delivered: float = 0.0
+    clipped: float = 0.0
+    leaked: float = 0.0
+
+    def merge(self, other: "EnergyLedger") -> None:
+        """Accumulate another ledger into this one."""
+        self.absorbed += other.absorbed
+        self.delivered += other.delivered
+        self.clipped += other.clipped
+        self.leaked += other.leaked
+
+    def as_dict(self) -> dict:
+        return {
+            "absorbed": self.absorbed,
+            "delivered": self.delivered,
+            "clipped": self.clipped,
+            "leaked": self.leaked,
+        }
+
+
+@dataclass
+class Capacitor:
+    """An ideal capacitor with a rated voltage and a leakage model.
+
+    Parameters
+    ----------
+    capacitance:
+        Capacitance in farads.
+    rated_voltage:
+        Maximum voltage the part tolerates.  Charging beyond this level is
+        clipped and the excess energy is recorded in the ledger.
+    leakage:
+        A :class:`~repro.capacitors.leakage.LeakageModel`; defaults to ideal.
+    initial_voltage:
+        Voltage at construction time, defaults to a fully discharged part.
+    """
+
+    capacitance: float
+    rated_voltage: float = 6.3
+    leakage: LeakageModel = field(default_factory=NoLeakage)
+    initial_voltage: float = 0.0
+    name: str = "cap"
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0.0:
+            raise ConfigurationError(
+                f"capacitance must be positive, got {self.capacitance}"
+            )
+        if self.rated_voltage <= 0.0:
+            raise ConfigurationError(
+                f"rated voltage must be positive, got {self.rated_voltage}"
+            )
+        if not 0.0 <= self.initial_voltage <= self.rated_voltage:
+            raise ConfigurationError(
+                "initial voltage must lie within [0, rated voltage], got "
+                f"{self.initial_voltage}"
+            )
+        self._charge = self.capacitance * self.initial_voltage
+        self.ledger = EnergyLedger()
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def charge(self) -> float:
+        """Stored charge in coulombs."""
+        return self._charge
+
+    @property
+    def voltage(self) -> float:
+        """Terminal voltage in volts."""
+        return self._charge / self.capacitance
+
+    @property
+    def energy(self) -> float:
+        """Stored energy in joules."""
+        return capacitor_energy(self.capacitance, self.voltage)
+
+    @property
+    def max_charge(self) -> float:
+        """Charge at the rated voltage."""
+        return self.capacitance * self.rated_voltage
+
+    @property
+    def max_energy(self) -> float:
+        """Energy at the rated voltage."""
+        return capacitor_energy(self.capacitance, self.rated_voltage)
+
+    @property
+    def headroom_energy(self) -> float:
+        """Additional energy the capacitor can absorb before clipping."""
+        return self.max_energy - self.energy
+
+    def is_full(self, margin: float = 1e-9) -> bool:
+        """True when the capacitor is at (or within ``margin`` volts of) rating."""
+        return self.voltage >= self.rated_voltage - margin
+
+    # -- charge manipulation ------------------------------------------------
+
+    def set_voltage(self, voltage: float) -> None:
+        """Force the terminal voltage (used for test setup, not simulation)."""
+        if not 0.0 <= voltage <= self.rated_voltage:
+            raise ConfigurationError(
+                f"voltage {voltage} outside [0, {self.rated_voltage}]"
+            )
+        self._charge = self.capacitance * voltage
+
+    def charge_with_energy(self, energy: float) -> float:
+        """Absorb ``energy`` joules from the harvester.
+
+        Returns the energy actually stored; the rest is clipped (recorded as
+        overvoltage waste).  Energy-domain charging models a regulated
+        harvester front-end that delivers power rather than raw current.
+        """
+        if energy < 0.0:
+            raise ValueError(f"energy must be non-negative, got {energy}")
+        if energy == 0.0:
+            return 0.0
+        new_energy = min(self.energy + energy, self.max_energy)
+        stored = new_energy - self.energy
+        clipped = energy - stored
+        self._charge = self.capacitance * (2.0 * new_energy / self.capacitance) ** 0.5
+        self.ledger.absorbed += stored
+        self.ledger.clipped += clipped
+        return stored
+
+    def charge_with_current(self, current: float, dt: float) -> float:
+        """Absorb charge from a current source for ``dt`` seconds.
+
+        Returns the energy actually stored.  Charge beyond the rated voltage
+        is clipped; the clipped energy is valued at the rated voltage, which
+        is what a shunt overvoltage-protection circuit dissipates.
+        """
+        if current < 0.0:
+            raise ValueError(f"current must be non-negative, got {current}")
+        before_energy = self.energy
+        new_charge = self._charge + current * dt
+        clipped_charge = max(0.0, new_charge - self.max_charge)
+        self._charge = min(new_charge, self.max_charge)
+        stored = self.energy - before_energy
+        self.ledger.absorbed += stored
+        self.ledger.clipped += clipped_charge * self.rated_voltage
+        return stored
+
+    def discharge_current(self, current: float, dt: float, v_floor: float = 0.0) -> float:
+        """Supply a constant-current load for ``dt`` seconds.
+
+        The discharge stops at ``v_floor`` (e.g. the brown-out voltage when
+        the capacitor directly supplies an unregulated MCU).  Returns the
+        energy delivered to the load.
+        """
+        if current < 0.0:
+            raise ValueError(f"current must be non-negative, got {current}")
+        floor_charge = self.capacitance * max(v_floor, 0.0)
+        before_energy = self.energy
+        new_charge = max(self._charge - current * dt, floor_charge)
+        self._charge = new_charge
+        delivered = before_energy - self.energy
+        self.ledger.delivered += delivered
+        return delivered
+
+    def discharge_energy(self, energy: float, v_floor: float = 0.0) -> float:
+        """Remove up to ``energy`` joules, not dropping below ``v_floor``.
+
+        Returns the energy actually delivered.
+        """
+        if energy < 0.0:
+            raise ValueError(f"energy must be non-negative, got {energy}")
+        floor_energy = capacitor_energy(self.capacitance, max(v_floor, 0.0))
+        available = max(0.0, self.energy - floor_energy)
+        delivered = min(energy, available)
+        new_energy = self.energy - delivered
+        self._charge = (2.0 * new_energy * self.capacitance) ** 0.5
+        self.ledger.delivered += delivered
+        return delivered
+
+    def apply_leakage(self, dt: float) -> float:
+        """Apply self-discharge over ``dt`` seconds; returns energy lost."""
+        if dt < 0.0:
+            raise ValueError(f"dt must be non-negative, got {dt}")
+        lost_charge = min(self.leakage.charge_lost(self.voltage, dt), self._charge)
+        before_energy = self.energy
+        self._charge -= lost_charge
+        leaked = before_energy - self.energy
+        self.ledger.leaked += leaked
+        return leaked
+
+    def reset(self, voltage: float = 0.0) -> None:
+        """Reset stored charge and the energy ledger (new experiment run)."""
+        self.set_voltage(voltage)
+        self.ledger = EnergyLedger()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"{type(self).__name__}(name={self.name!r}, C={self.capacitance:.6g} F, "
+            f"V={self.voltage:.3f} V)"
+        )
+
+
+class Supercapacitor(Capacitor):
+    """A supercapacitor: identical electrical model, lower default leakage.
+
+    The distinction matters for REACT's largest bank (Table 1 bank 5), which
+    uses supercapacitors whose leakage is orders of magnitude below the
+    ceramic parts used elsewhere.
+    """

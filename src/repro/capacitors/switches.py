@@ -1,0 +1,103 @@
+"""Switch models for capacitor-bank reconfiguration.
+
+REACT toggles double-pole-double-throw (DPDT) switches to move a bank
+between its series and parallel configurations, and uses break-before-make
+sequencing so no short-circuit current flows during the transition.  The
+models here track switch state, count actuations, and account for the gate
+drive energy each actuation costs, which feeds the controller power-overhead
+experiment (§5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.exceptions import ConfigurationError
+
+
+class SwitchState(Enum):
+    """Position of a reconfiguration switch."""
+
+    OPEN = "open"
+    POSITION_A = "a"
+    POSITION_B = "b"
+
+
+@dataclass
+class BreakBeforeMakeSwitch:
+    """A single-pole changeover switch with break-before-make sequencing.
+
+    The switch passes through ``OPEN`` on every transition; the time spent
+    open (``break_time``) is the window during which the associated bank is
+    disconnected and incoming current flows directly to the last-level
+    buffer (§3.3.3).
+    """
+
+    name: str = "switch"
+    break_time: float = 1e-4
+    actuation_energy: float = 1e-7
+    state: SwitchState = SwitchState.OPEN
+    actuation_count: int = field(default=0, init=False)
+    energy_spent: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.break_time < 0.0:
+            raise ConfigurationError(
+                f"break time must be non-negative, got {self.break_time}"
+            )
+        if self.actuation_energy < 0.0:
+            raise ConfigurationError(
+                f"actuation energy must be non-negative, got {self.actuation_energy}"
+            )
+
+    def set_state(self, new_state: SwitchState) -> float:
+        """Move the switch; returns the time the pole spends open."""
+        if new_state is self.state:
+            return 0.0
+        self.actuation_count += 1
+        self.energy_spent += self.actuation_energy
+        previous = self.state
+        self.state = new_state
+        if previous is SwitchState.OPEN or new_state is SwitchState.OPEN:
+            return 0.0 if new_state is SwitchState.OPEN else self.break_time
+        return self.break_time
+
+
+@dataclass
+class DpdtSwitch:
+    """A double-pole-double-throw switch built from two ganged poles."""
+
+    name: str = "dpdt"
+    break_time: float = 1e-4
+    actuation_energy: float = 2e-7
+
+    def __post_init__(self) -> None:
+        self.pole_a = BreakBeforeMakeSwitch(
+            name=f"{self.name}.a",
+            break_time=self.break_time,
+            actuation_energy=self.actuation_energy / 2.0,
+        )
+        self.pole_b = BreakBeforeMakeSwitch(
+            name=f"{self.name}.b",
+            break_time=self.break_time,
+            actuation_energy=self.actuation_energy / 2.0,
+        )
+
+    @property
+    def state(self) -> SwitchState:
+        return self.pole_a.state
+
+    @property
+    def actuation_count(self) -> int:
+        return max(self.pole_a.actuation_count, self.pole_b.actuation_count)
+
+    @property
+    def energy_spent(self) -> float:
+        return self.pole_a.energy_spent + self.pole_b.energy_spent
+
+    def set_state(self, new_state: SwitchState) -> float:
+        """Throw both poles together; returns the break (open) time."""
+        open_a = self.pole_a.set_state(new_state)
+        open_b = self.pole_b.set_state(new_state)
+        return max(open_a, open_b)

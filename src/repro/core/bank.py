@@ -1,0 +1,248 @@
+"""A single REACT capacitor bank and its configuration state machine.
+
+Each bank holds ``N`` identical unit capacitors that are always either all
+disconnected, all in series, or all in parallel (§3.3.2).  Because the
+cells within a bank always carry equal voltage, reconfiguring between
+series and parallel moves no charge between cells and therefore dissipates
+no energy — the property that separates REACT from a fully interconnected
+switched-capacitor network.
+
+The bank tracks its *cell* voltage; the output voltage seen by the rest of
+the fabric is ``N × V_cell`` in series and ``V_cell`` in parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.capacitors.leakage import LeakageModel, NoLeakage
+from repro.capacitors.switches import DpdtSwitch, SwitchState
+from repro.core.config import BankSpec
+from repro.exceptions import BankStateError, ConfigurationError
+from repro.units import capacitor_energy
+
+
+class BankState(Enum):
+    """Configuration of a REACT capacitor bank."""
+
+    DISCONNECTED = "disconnected"
+    SERIES = "series"
+    PARALLEL = "parallel"
+
+
+@dataclass
+class CapacitorBank:
+    """One isolated, reconfigurable capacitor bank.
+
+    Parameters
+    ----------
+    spec:
+        Physical description (unit capacitance and cell count).
+    rated_cell_voltage:
+        Maximum voltage any single cell tolerates.
+    leakage:
+        Leakage model applied per cell.
+    """
+
+    spec: BankSpec
+    rated_cell_voltage: float = 6.3
+    leakage: LeakageModel = field(default_factory=NoLeakage)
+    name: str = "bank"
+    state: BankState = field(default=BankState.DISCONNECTED, init=False)
+    cell_voltage: float = field(default=0.0, init=False)
+    reconfiguration_count: int = field(default=0, init=False)
+    energy_leaked: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.rated_cell_voltage <= 0.0:
+            raise ConfigurationError("rated cell voltage must be positive")
+        self.switch = DpdtSwitch(name=f"{self.name}.dpdt")
+
+    # -- electrical state ----------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Number of unit cells in the bank."""
+        return self.spec.count
+
+    @property
+    def unit_capacitance(self) -> float:
+        """Capacitance of a single cell in farads."""
+        return self.spec.unit_capacitance
+
+    @property
+    def is_connected(self) -> bool:
+        """True when the bank contributes capacitance to the fabric."""
+        return self.state is not BankState.DISCONNECTED
+
+    @property
+    def equivalent_capacitance(self) -> float:
+        """Capacitance seen at the bank output in its present state."""
+        if self.state is BankState.SERIES:
+            return self.spec.series_capacitance
+        if self.state is BankState.PARALLEL:
+            return self.spec.parallel_capacitance
+        return 0.0
+
+    @property
+    def output_voltage(self) -> float:
+        """Voltage at the bank output in its present state."""
+        if self.state is BankState.SERIES:
+            return self.cell_voltage * self.count
+        if self.state is BankState.PARALLEL:
+            return self.cell_voltage
+        return 0.0
+
+    @property
+    def stored_energy(self) -> float:
+        """Total energy stored across all cells (state-independent)."""
+        return self.count * capacitor_energy(self.unit_capacitance, self.cell_voltage)
+
+    @property
+    def max_output_voltage(self) -> float:
+        """Output voltage if every cell were at its rated voltage."""
+        if self.state is BankState.SERIES:
+            return self.rated_cell_voltage * self.count
+        return self.rated_cell_voltage
+
+    def energy_at_output_voltage(self, output_voltage: float) -> float:
+        """Stored energy if the output were at ``output_voltage`` in this state."""
+        if self.state is BankState.DISCONNECTED:
+            return self.stored_energy
+        cell = output_voltage / self.count if self.state is BankState.SERIES else output_voltage
+        return self.count * capacitor_energy(self.unit_capacitance, cell)
+
+    # -- state machine -----------------------------------------------------------------
+
+    def connect_series(self) -> None:
+        """Connect a disconnected bank in the series configuration (§3.3.3)."""
+        if self.state is not BankState.DISCONNECTED:
+            raise BankStateError(
+                f"{self.name}: connect_series requires a disconnected bank, "
+                f"state is {self.state.value}"
+            )
+        self.state = BankState.SERIES
+        self.reconfiguration_count += 1
+        self.switch.set_state(SwitchState.POSITION_A)
+
+    def to_parallel(self) -> None:
+        """Reconfigure a series bank to parallel (capacity expansion)."""
+        if self.state is not BankState.SERIES:
+            raise BankStateError(
+                f"{self.name}: to_parallel requires a series bank, state is {self.state.value}"
+            )
+        self.state = BankState.PARALLEL
+        self.reconfiguration_count += 1
+        self.switch.set_state(SwitchState.POSITION_B)
+
+    def to_series(self) -> None:
+        """Reconfigure a parallel bank to series (charge reclamation, §3.3.4)."""
+        if self.state is not BankState.PARALLEL:
+            raise BankStateError(
+                f"{self.name}: to_series requires a parallel bank, state is {self.state.value}"
+            )
+        self.state = BankState.SERIES
+        self.reconfiguration_count += 1
+        self.switch.set_state(SwitchState.POSITION_A)
+
+    def disconnect(self) -> None:
+        """Disconnect the bank from the fabric (its cells keep their charge)."""
+        if self.state is BankState.DISCONNECTED:
+            raise BankStateError(f"{self.name}: bank is already disconnected")
+        self.state = BankState.DISCONNECTED
+        self.reconfiguration_count += 1
+        self.switch.set_state(SwitchState.OPEN)
+
+    def step_up(self) -> BankState:
+        """Advance one step toward maximum capacitance; returns the new state."""
+        if self.state is BankState.DISCONNECTED:
+            self.connect_series()
+        elif self.state is BankState.SERIES:
+            self.to_parallel()
+        else:
+            raise BankStateError(f"{self.name}: bank is already fully expanded")
+        return self.state
+
+    def step_down(self) -> BankState:
+        """Retreat one step toward disconnection; returns the new state."""
+        if self.state is BankState.PARALLEL:
+            self.to_series()
+        elif self.state is BankState.SERIES:
+            self.disconnect()
+        else:
+            raise BankStateError(f"{self.name}: bank is already disconnected")
+        return self.state
+
+    @property
+    def can_step_up(self) -> bool:
+        """True when a further capacity-expansion step exists."""
+        return self.state is not BankState.PARALLEL
+
+    @property
+    def can_step_down(self) -> bool:
+        """True when a further retreat step exists."""
+        return self.state is not BankState.DISCONNECTED
+
+    # -- charge movement ----------------------------------------------------------------
+
+    def absorb_energy(self, energy: float, max_output_voltage: float) -> float:
+        """Store harvested energy, limited by the output-voltage clamp.
+
+        Returns the energy actually stored.  Charging never moves charge
+        between cells, so it is lossless up to the clamp.
+        """
+        if energy < 0.0:
+            raise ValueError(f"energy must be non-negative, got {energy}")
+        if self.state is BankState.DISCONNECTED or energy == 0.0:
+            return 0.0
+        clamp_output = min(max_output_voltage, self.max_output_voltage)
+        max_energy = self.energy_at_output_voltage(clamp_output)
+        stored = min(energy, max(0.0, max_energy - self.stored_energy))
+        if stored <= 0.0:
+            return 0.0
+        new_energy = self.stored_energy + stored
+        self.cell_voltage = (
+            2.0 * new_energy / (self.count * self.unit_capacitance)
+        ) ** 0.5
+        return stored
+
+    def set_output_voltage(self, output_voltage: float) -> None:
+        """Force the output voltage (used when equalizing with the last-level buffer)."""
+        if output_voltage < 0.0:
+            raise ValueError(f"voltage must be non-negative, got {output_voltage}")
+        if self.state is BankState.DISCONNECTED:
+            raise BankStateError(f"{self.name}: cannot set voltage on a disconnected bank")
+        if self.state is BankState.SERIES:
+            self.cell_voltage = output_voltage / self.count
+        else:
+            self.cell_voltage = output_voltage
+
+    def set_cell_voltage(self, cell_voltage: float) -> None:
+        """Directly set the per-cell voltage (test setup and experiments)."""
+        if not 0.0 <= cell_voltage <= self.rated_cell_voltage:
+            raise ConfigurationError(
+                f"cell voltage must lie in [0, {self.rated_cell_voltage}], got {cell_voltage}"
+            )
+        self.cell_voltage = cell_voltage
+
+    def apply_leakage(self, dt: float) -> float:
+        """Self-discharge every cell over ``dt`` seconds; returns energy lost."""
+        if dt < 0.0:
+            raise ValueError(f"dt must be non-negative, got {dt}")
+        if self.cell_voltage <= 0.0:
+            return 0.0
+        before = self.stored_energy
+        lost_charge = self.leakage.charge_lost(self.cell_voltage, dt)
+        new_cell_charge = max(0.0, self.unit_capacitance * self.cell_voltage - lost_charge)
+        self.cell_voltage = new_cell_charge / self.unit_capacitance
+        leaked = before - self.stored_energy
+        self.energy_leaked += leaked
+        return leaked
+
+    def reset(self) -> None:
+        """Return to the cold-start state (disconnected and empty)."""
+        self.state = BankState.DISCONNECTED
+        self.cell_voltage = 0.0
+        self.reconfiguration_count = 0
+        self.energy_leaked = 0.0

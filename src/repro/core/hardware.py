@@ -1,0 +1,248 @@
+"""The REACT bank fabric: last-level buffer, banks, diodes, instrumentation.
+
+:class:`ReactHardware` models the energy flows of Figure 2:
+
+* the harvester charges, through input isolation diodes, whichever
+  connected element (last-level buffer or bank) sits at the lowest output
+  voltage;
+* the load draws only from the last-level buffer;
+* banks replenish the last-level buffer through their output isolation
+  diodes whenever their output voltage exceeds it (highest-voltage bank
+  first), so stored energy is fungible regardless of which bank holds it;
+* two comparators watch the last-level buffer and report the three-state
+  buffer signal the software controller polls.
+
+Because banks are mutually isolated, the only dissipative charge motion is
+the diode-gated equalization between a bank output and the last-level
+buffer; that loss is recorded as ``transfer_loss`` and is what the
+switching-loss ablation compares against Morphy's equalization cost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.capacitors.capacitor import Capacitor
+from repro.capacitors.diode import IdealDiode
+from repro.capacitors.leakage import ConstantCurrentLeakage, VoltageProportionalLeakage
+from repro.capacitors.network import redistribute_charge
+from repro.core.bank import BankState, CapacitorBank
+from repro.core.config import ReactConfig
+from repro.core.reclamation import stranded_energy_with_reclamation
+from repro.platform.monitor import BufferSignal, VoltageMonitor
+from repro.units import capacitor_energy
+
+
+class ReactHardware:
+    """Physical model of the REACT buffer fabric."""
+
+    def __init__(self, config: ReactConfig, diode: Optional[IdealDiode] = None) -> None:
+        self.config = config
+        self.diode = diode or IdealDiode()
+        self.last_level = Capacitor(
+            capacitance=config.last_level_capacitance,
+            rated_voltage=config.max_voltage,
+            leakage=VoltageProportionalLeakage(
+                rated_current=config.ceramic_leakage_per_farad
+                * config.last_level_capacitance,
+                rated_voltage=6.3,
+            ),
+            name="last-level",
+        )
+        self.banks: List[CapacitorBank] = []
+        for index, spec in enumerate(config.banks, start=1):
+            if spec.supercapacitor:
+                leakage = ConstantCurrentLeakage(config.supercap_leakage_current)
+            else:
+                leakage = VoltageProportionalLeakage(
+                    rated_current=config.ceramic_leakage_per_farad * spec.unit_capacitance,
+                    rated_voltage=6.3,
+                )
+            self.banks.append(
+                CapacitorBank(
+                    spec=spec,
+                    rated_cell_voltage=config.max_voltage,
+                    leakage=leakage,
+                    name=spec.label or f"bank{index}",
+                )
+            )
+        self.monitor = VoltageMonitor(
+            high_threshold=config.high_threshold,
+            low_threshold=config.low_threshold,
+        )
+        self.energy_clipped = 0.0
+        self.energy_leaked = 0.0
+        self.transfer_loss = 0.0
+
+    # -- telemetry -------------------------------------------------------------------
+
+    @property
+    def output_voltage(self) -> float:
+        """Voltage on the last-level buffer (what the backend sees)."""
+        return self.last_level.voltage
+
+    @property
+    def connected_banks(self) -> List[CapacitorBank]:
+        """Banks currently contributing capacitance."""
+        return [bank for bank in self.banks if bank.is_connected]
+
+    @property
+    def equivalent_capacitance(self) -> float:
+        """Capacitance currently presented to the harvester and load."""
+        return self.last_level.capacitance + sum(
+            bank.equivalent_capacitance for bank in self.connected_banks
+        )
+
+    @property
+    def stored_energy(self) -> float:
+        """Total energy stored anywhere in the fabric (including stranded charge)."""
+        return self.last_level.energy + sum(bank.stored_energy for bank in self.banks)
+
+    @property
+    def capacitance_level(self) -> int:
+        """Number of controller step-ups currently applied (0 = bare last-level)."""
+        level = 0
+        for bank in self.banks:
+            if bank.state is BankState.SERIES:
+                level += 1
+            elif bank.state is BankState.PARALLEL:
+                level += 2
+        return level
+
+    def usable_energy(self) -> float:
+        """Energy extractable before brown-out, assuming reclamation runs.
+
+        The last-level buffer is usable down to the brown-out voltage; a
+        connected bank is usable down to the post-reclamation stranded
+        energy (§3.3.4).  This is the surrogate the longevity API gates on.
+        """
+        floor = capacitor_energy(self.last_level.capacitance, self.config.brownout_voltage)
+        total = max(0.0, self.last_level.energy - floor)
+        for bank in self.connected_banks:
+            stranded = stranded_energy_with_reclamation(
+                bank.count, bank.unit_capacitance, self.config.low_threshold
+            )
+            total += max(0.0, bank.stored_energy - stranded)
+        return total
+
+    def signal(self) -> BufferSignal:
+        """Sample the voltage instrumentation."""
+        return self.monitor.sample(self.last_level.voltage)
+
+    # -- energy flow -------------------------------------------------------------------
+
+    def harvest(self, energy: float) -> float:
+        """Absorb harvested energy into the lowest-voltage connected element.
+
+        Energy that cannot be stored anywhere (every element at the
+        overvoltage clamp) is clipped.  Returns the energy stored.
+        """
+        if energy < 0.0:
+            raise ValueError(f"energy must be non-negative, got {energy}")
+        remaining = energy
+        stored_total = 0.0
+        # Elements sorted by present output voltage: the input diodes steer
+        # charging current to the lowest-voltage element first.
+        for _ in range(1 + len(self.banks)):
+            if remaining <= 0.0:
+                break
+            element = self._lowest_voltage_element()
+            if element is None:
+                break
+            if element is self.last_level:
+                before = self.last_level.energy
+                self.last_level.charge_with_energy(remaining)
+                stored = self.last_level.energy - before
+            else:
+                stored = element.absorb_energy(remaining, self.config.max_voltage)
+            if stored <= 0.0:
+                break
+            stored_total += stored
+            remaining -= stored
+        self.energy_clipped += max(0.0, remaining)
+        return stored_total
+
+    def _lowest_voltage_element(self):
+        """The connected element with the lowest output voltage and headroom."""
+        candidates = []
+        if self.last_level.voltage < self.config.max_voltage - 1e-9:
+            candidates.append((self.last_level.voltage, 0, self.last_level))
+        for index, bank in enumerate(self.connected_banks, start=1):
+            if bank.output_voltage < min(self.config.max_voltage, bank.max_output_voltage) - 1e-9:
+                candidates.append((bank.output_voltage, index, bank))
+        if not candidates:
+            return None
+        candidates.sort(key=lambda item: (item[0], item[1]))
+        return candidates[0][2]
+
+    def draw(self, current: float, dt: float) -> float:
+        """Supply the load from the last-level buffer; returns energy delivered."""
+        return self.last_level.discharge_current(current, dt)
+
+    def replenish(self) -> float:
+        """Let the highest-voltage bank top up the last-level buffer.
+
+        Models the output isolation diodes: charge flows from a bank to the
+        last-level buffer whenever the bank output voltage is higher,
+        equalizing the two.  Returns the energy that reached the last-level
+        buffer; the equalization loss is accumulated in ``transfer_loss``.
+        """
+        moved_total = 0.0
+        for _ in range(len(self.banks)):
+            source = self._highest_voltage_bank()
+            if source is None:
+                break
+            if source.output_voltage <= self.last_level.voltage + 1e-9:
+                break
+            final_voltage, dissipated = redistribute_charge(
+                source.equivalent_capacitance,
+                source.output_voltage,
+                self.last_level.capacitance,
+                self.last_level.voltage,
+            )
+            # The overvoltage clamp still applies: a reclamation spike cannot
+            # push the last-level buffer past its rated voltage.  Any energy
+            # above the clamp is burned by the protection circuit.
+            if final_voltage > self.config.max_voltage:
+                before = capacitor_energy(
+                    source.equivalent_capacitance, final_voltage
+                ) + capacitor_energy(self.last_level.capacitance, final_voltage)
+                final_voltage = self.config.max_voltage
+                after = capacitor_energy(
+                    source.equivalent_capacitance, final_voltage
+                ) + capacitor_energy(self.last_level.capacitance, final_voltage)
+                self.energy_clipped += max(0.0, before - after)
+            gained = capacitor_energy(
+                self.last_level.capacitance, final_voltage
+            ) - self.last_level.energy
+            source.set_output_voltage(final_voltage)
+            self.last_level.set_voltage(final_voltage)
+            self.transfer_loss += dissipated
+            moved_total += max(0.0, gained)
+        return moved_total
+
+    def _highest_voltage_bank(self) -> Optional[CapacitorBank]:
+        connected = self.connected_banks
+        if not connected:
+            return None
+        return max(connected, key=lambda bank: bank.output_voltage)
+
+    def apply_leakage(self, dt: float) -> float:
+        """Self-discharge every capacitor in the fabric; returns energy lost."""
+        leaked = self.last_level.apply_leakage(dt)
+        for bank in self.banks:
+            leaked += bank.apply_leakage(dt)
+        self.energy_leaked += leaked
+        return leaked
+
+    # -- lifecycle ------------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Return to the cold-start state: everything empty and disconnected."""
+        self.last_level.reset()
+        for bank in self.banks:
+            bank.reset()
+        self.monitor.reset()
+        self.energy_clipped = 0.0
+        self.energy_leaked = 0.0
+        self.transfer_loss = 0.0

@@ -1,0 +1,81 @@
+"""Bank-size constraint math (Equations 1 and 2 of the paper, §3.3.5).
+
+When a charged parallel bank is reconfigured to series at the low-voltage
+trigger, its boosted output equalizes onto the last-level buffer and pulls
+the buffer voltage up.  The spike must stay below the buffer-full threshold
+or the controller would misread it as a surplus signal (and in extreme
+cases exceed component limits), which constrains how large each unit
+capacitor may be relative to the last-level buffer.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+
+
+def voltage_after_series_switch(
+    cell_count: int,
+    unit_capacitance: float,
+    last_level_capacitance: float,
+    trigger_voltage: float,
+) -> float:
+    """Last-level buffer voltage after a parallel→series bank switch (Eq. 1).
+
+    The bank (equivalent capacitance ``C_unit / N`` at output voltage
+    ``N · V_low``) equalizes with the last-level buffer (``C_last`` at
+    ``V_low``); the result is the charge-weighted mean of the two voltages.
+    """
+    _validate_positive(cell_count, unit_capacitance, last_level_capacitance, trigger_voltage)
+    series_capacitance = unit_capacitance / cell_count
+    boosted_voltage = cell_count * trigger_voltage
+    total = last_level_capacitance + series_capacitance
+    return (
+        boosted_voltage * series_capacitance / total
+        + trigger_voltage * last_level_capacitance / total
+    )
+
+
+def max_unit_capacitance(
+    cell_count: int,
+    last_level_capacitance: float,
+    high_threshold: float,
+    low_threshold: float,
+) -> float:
+    """Largest permissible unit capacitance for a bank (Eq. 2).
+
+    Returns ``inf`` when the constraint does not bind, i.e. when even an
+    arbitrarily large bank cannot push the post-switch voltage above the
+    high threshold (``N · V_low <= V_high``).
+    """
+    _validate_positive(cell_count, last_level_capacitance, high_threshold, low_threshold)
+    if high_threshold <= low_threshold:
+        raise ConfigurationError("high threshold must exceed the low threshold")
+    boosted = cell_count * low_threshold
+    if boosted <= high_threshold:
+        return float("inf")
+    return (
+        cell_count
+        * last_level_capacitance
+        * (high_threshold - low_threshold)
+        / (boosted - high_threshold)
+    )
+
+
+def validate_bank_sizing(
+    cell_count: int,
+    unit_capacitance: float,
+    last_level_capacitance: float,
+    high_threshold: float,
+    low_threshold: float,
+) -> bool:
+    """True when a bank satisfies the Eq. 2 sizing constraint."""
+    limit = max_unit_capacitance(
+        cell_count, last_level_capacitance, high_threshold, low_threshold
+    )
+    return unit_capacitance < limit
+
+
+def _validate_positive(*values: float) -> None:
+    for value in values:
+        if value <= 0:
+            raise ConfigurationError(f"sizing inputs must be positive, got {value}")

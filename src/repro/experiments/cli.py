@@ -1,0 +1,65 @@
+"""Command-line entry point: ``react-repro <experiment> [--quick]``.
+
+Examples::
+
+    react-repro table4 --quick     # latency table on truncated traces
+    react-repro fig7               # full Figure 7 sweep (tens of minutes)
+    react-repro all --quick        # every artifact, quick fidelity
+    react-repro list               # show available experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.runner import ExperimentSettings
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="react-repro",
+        description="Regenerate the tables and figures of the REACT paper (ASPLOS 2024).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="which artifact to regenerate ('all' for every one, 'list' to enumerate)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="truncate the long solar traces and coarsen the timestep (minutes instead of tens of minutes)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="trace-generation seed")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            module = EXPERIMENTS[name].__module__
+            print(f"{name:16s} {module}")
+        return 0
+
+    settings = ExperimentSettings(quick=args.quick, seed=args.seed)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.perf_counter()
+        print(f"=== {name} ===")
+        EXPERIMENTS[name](settings)
+        elapsed = time.perf_counter() - started
+        print(f"[{name} finished in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Figure 7 — aggregate buffer performance normalized to REACT.
+
+The paper condenses the whole evaluation into one bar chart: for each
+benchmark, each buffer's figure of merit is normalized to REACT per trace
+and then averaged across traces.  The headline numbers derived from it are
+REACT's mean improvement over the equally-reactive 770 µF buffer (+39.1 %),
+the equal-capacity 17 mF buffer (+19.3 %), the next-best 10 mF buffer
+(+18.8 %), and Morphy (+26.2 %).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.formatting import format_matrix, percent
+from repro.experiments.runner import (
+    BUFFER_ORDER,
+    ExperimentRunner,
+    ExperimentSettings,
+    WORKLOAD_ORDER,
+)
+from repro.sim.metrics import mean_normalized_performance
+from repro.sim.results import SimulationResult
+
+
+def run(settings: Optional[ExperimentSettings] = None, verbose: bool = True) -> Dict:
+    """Regenerate Figure 7; returns normalized performance and improvements."""
+    settings = settings or ExperimentSettings()
+    runner = ExperimentRunner(settings)
+    results: List[SimulationResult] = runner.run_grid(workloads=WORKLOAD_ORDER)
+
+    normalized = mean_normalized_performance(results, reference="REACT")
+    # Overall mean across benchmarks (the "Mean" group of Figure 7).
+    overall: Dict[str, float] = {}
+    for buffer_name in BUFFER_ORDER:
+        values = [
+            normalized[workload][buffer_name]
+            for workload in normalized
+            if buffer_name in normalized[workload]
+        ]
+        if values:
+            overall[buffer_name] = sum(values) / len(values)
+    normalized_with_mean = dict(normalized)
+    normalized_with_mean["Mean"] = overall
+
+    improvements = {}
+    for baseline in ("770 uF", "10 mF", "17 mF", "Morphy"):
+        if overall.get(baseline):
+            improvements[baseline] = 1.0 / overall[baseline] - 1.0
+
+    output = format_matrix(
+        normalized_with_mean,
+        row_label="benchmark",
+        title="Figure 7 — mean performance normalized to REACT",
+    )
+    improvement_lines = "\n".join(
+        f"REACT vs {name}: {percent(value)}" for name, value in improvements.items()
+    )
+    output = output + "\n\n" + improvement_lines
+    if verbose:
+        print(output)
+    return {
+        "results": results,
+        "normalized": normalized_with_mean,
+        "improvements": improvements,
+        "formatted": output,
+    }
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    run()

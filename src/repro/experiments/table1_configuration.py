@@ -1,0 +1,81 @@
+"""Table 1 — REACT bank sizes and configuration.
+
+Table 1 is configuration rather than measurement, but regenerating it from
+:func:`repro.core.config.table1_config` checks that the library's default
+REACT instance matches the paper's prototype (770 µF–18.03 mF) and that
+every bank satisfies the Equation 2 sizing constraint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.analysis.formatting import format_table
+from repro.core.config import table1_config
+from repro.core.sizing import max_unit_capacitance, validate_bank_sizing
+from repro.experiments.runner import ExperimentSettings
+
+
+def run(settings: Optional[ExperimentSettings] = None, verbose: bool = True) -> Dict:
+    """Regenerate Table 1 plus the derived sizing checks."""
+    config = table1_config()
+    rows = config.describe_banks()
+
+    sizing_rows = []
+    for index, bank in enumerate(config.banks, start=1):
+        limit = max_unit_capacitance(
+            bank.count,
+            config.last_level_capacitance,
+            config.high_threshold,
+            config.low_threshold,
+        )
+        sizing_rows.append(
+            {
+                "bank": index,
+                "cells": bank.count,
+                "unit_uF": round(bank.unit_capacitance * 1e6, 1),
+                "eq2_limit_uF": round(limit * 1e6, 1) if limit != float("inf") else None,
+                "satisfies_eq2": validate_bank_sizing(
+                    bank.count,
+                    bank.unit_capacitance,
+                    config.last_level_capacitance,
+                    config.high_threshold,
+                    config.low_threshold,
+                ),
+            }
+        )
+
+    summary_rows = [
+        {
+            "quantity": "minimum capacitance (uF)",
+            "value": round(config.minimum_capacitance * 1e6, 1),
+        },
+        {
+            "quantity": "maximum capacitance (mF)",
+            "value": round(config.maximum_capacitance * 1e3, 3),
+        },
+        {
+            "quantity": "capacitance levels",
+            "value": len(config.capacitance_levels),
+        },
+    ]
+
+    output = "\n\n".join(
+        [
+            format_table(rows, title="Table 1 — bank sizes and configuration"),
+            format_table(sizing_rows, title="Equation 2 sizing check"),
+            format_table(summary_rows, title="Derived fabric properties"),
+        ]
+    )
+    if verbose:
+        print(output)
+    return {
+        "rows": rows,
+        "sizing_rows": sizing_rows,
+        "config": config,
+        "formatted": output,
+    }
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    run()

@@ -1,0 +1,134 @@
+"""RF energy-harvesting model.
+
+The paper's RF traces come from a Powercast P2110B harvester and TX91501B
+915 MHz transmitter in an office.  This module models the pieces of that
+chain a user might want to vary: free-space path loss between transmitter
+and harvester, antenna gain, and the strongly input-power-dependent RF-to-DC
+conversion efficiency of the harvester chip.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.harvester.trace import PowerTrace
+
+#: Speed of light, m/s.
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: (input power dBm, efficiency) points approximating a P2110B-style
+#: RF-to-DC converter: efficiency collapses at low input power and saturates
+#: slightly above 50 % near its optimal operating point.
+_RF_DC_EFFICIENCY_CURVE = (
+    (-12.0, 0.00),
+    (-10.0, 0.05),
+    (-5.0, 0.18),
+    (0.0, 0.38),
+    (5.0, 0.50),
+    (10.0, 0.55),
+    (15.0, 0.52),
+    (20.0, 0.45),
+)
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert a power level in dBm to watts."""
+    return 10.0 ** (dbm / 10.0) * 1e-3
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert a power level in watts to dBm."""
+    if watts <= 0.0:
+        return -math.inf
+    return 10.0 * math.log10(watts / 1e-3)
+
+
+def rf_to_dc_efficiency(input_power: float) -> float:
+    """Conversion efficiency of the harvester chip at ``input_power`` watts.
+
+    Linear interpolation over the tabulated curve; zero below the chip's
+    sensitivity threshold.
+    """
+    if input_power <= 0.0:
+        return 0.0
+    dbm = watts_to_dbm(input_power)
+    points = _RF_DC_EFFICIENCY_CURVE
+    if dbm <= points[0][0]:
+        return points[0][1]
+    if dbm >= points[-1][0]:
+        return points[-1][1]
+    for (x0, y0), (x1, y1) in zip(points, points[1:]):
+        if x0 <= dbm <= x1:
+            fraction = (dbm - x0) / (x1 - x0)
+            return y0 + fraction * (y1 - y0)
+    return points[-1][1]  # pragma: no cover - unreachable
+
+
+@dataclass(frozen=True)
+class RfHarvester:
+    """A 915 MHz rectenna + RF-to-DC converter.
+
+    Parameters
+    ----------
+    frequency:
+        Carrier frequency in hertz (915 MHz for the Powercast system).
+    antenna_gain_dbi:
+        Receive antenna gain (the paper's dipole is ~1 dBi).
+    transmit_power:
+        Transmitter EIRP in watts (TX91501B: 3 W EIRP).
+    """
+
+    frequency: float = 915e6
+    antenna_gain_dbi: float = 1.0
+    transmit_power: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0.0:
+            raise ConfigurationError(f"frequency must be positive, got {self.frequency}")
+        if self.transmit_power <= 0.0:
+            raise ConfigurationError(
+                f"transmit power must be positive, got {self.transmit_power}"
+            )
+
+    @property
+    def wavelength(self) -> float:
+        """Carrier wavelength in metres."""
+        return SPEED_OF_LIGHT / self.frequency
+
+    def received_rf_power(self, distance: float, obstruction_db: float = 0.0) -> float:
+        """Friis free-space RF power at the antenna, in watts."""
+        if distance <= 0.0:
+            raise ValueError(f"distance must be positive, got {distance}")
+        gain = 10.0 ** (self.antenna_gain_dbi / 10.0)
+        path_gain = gain * (self.wavelength / (4.0 * math.pi * distance)) ** 2
+        obstruction = 10.0 ** (-obstruction_db / 10.0)
+        return self.transmit_power * path_gain * obstruction
+
+    def harvested_power(self, distance: float, obstruction_db: float = 0.0) -> float:
+        """DC power delivered to the buffer, in watts."""
+        rf_power = self.received_rf_power(distance, obstruction_db)
+        return rf_power * rf_to_dc_efficiency(rf_power)
+
+    def trace_from_distances(
+        self,
+        distances: np.ndarray,
+        sample_period: float = 1.0,
+        obstruction_db: float = 0.0,
+        name: str = "rf",
+    ) -> PowerTrace:
+        """Convert a transmitter-distance timeline into a harvested-power trace.
+
+        This is how a "mobile" RF trace arises physically: the harvester (or
+        people around it) moves, the path loss swings, and the DC output
+        swings even faster because the conversion efficiency is itself a
+        function of input power.
+        """
+        distances = np.asarray(distances, dtype=float)
+        powers = np.array(
+            [self.harvested_power(distance, obstruction_db) for distance in distances]
+        )
+        return PowerTrace(powers, sample_period, name)

@@ -1,0 +1,42 @@
+"""Computational backend: microcontroller, peripherals, gating, and events.
+
+Models the MSP430FR5994-class platform the paper integrates REACT into: a
+power-gated microcontroller with active/sleep/off modes, peripherals whose
+current draw is emulated per benchmark, a hysteretic power gate (enable at
+3.3 V, brown-out at 1.8 V), the two-comparator voltage instrumentation REACT
+uses to sense its buffer, and the external event sources (sensor deadlines,
+incoming packets) that drive the reactivity-bound workloads.
+"""
+
+from repro.platform.mcu import Microcontroller, PowerMode, MSP430FR5994
+from repro.platform.peripherals import (
+    Microphone,
+    Peripheral,
+    Radio,
+    RadioOperation,
+)
+from repro.platform.gating import PowerGate
+from repro.platform.monitor import BufferSignal, VoltageMonitor
+from repro.platform.events import (
+    Event,
+    EventSource,
+    PeriodicEventSource,
+    PoissonEventSource,
+)
+
+__all__ = [
+    "PowerMode",
+    "Microcontroller",
+    "MSP430FR5994",
+    "Peripheral",
+    "Radio",
+    "RadioOperation",
+    "Microphone",
+    "PowerGate",
+    "VoltageMonitor",
+    "BufferSignal",
+    "Event",
+    "EventSource",
+    "PeriodicEventSource",
+    "PoissonEventSource",
+]

@@ -1,0 +1,128 @@
+"""External event sources for reactivity-bound workloads.
+
+The Sense-and-Compute benchmark has a sensing deadline every five seconds;
+the Packet-Forwarding benchmark receives packets at unpredictable times from
+other nodes.  Both kinds of event may arrive while the system is powered
+off, in which case the event is lost — that is precisely why reactivity
+(charge time) matters.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single external event (a deadline or an incoming packet)."""
+
+    time: float
+    kind: str = "event"
+    payload_size: int = 0
+
+
+class EventSource(ABC):
+    """Produces events over simulated time."""
+
+    @abstractmethod
+    def events_between(self, start: float, end: float) -> List[Event]:
+        """Events with ``start <= time < end`` in chronological order."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Restore the source to its initial state."""
+
+
+@dataclass
+class PeriodicEventSource(EventSource):
+    """Deadlines at a fixed period (the SC benchmark's 5-second sampling)."""
+
+    period: float = 5.0
+    kind: str = "deadline"
+    phase: float = 0.0
+    _emitted_up_to: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.period <= 0.0:
+            raise ConfigurationError(f"period must be positive, got {self.period}")
+        if self.phase < 0.0:
+            raise ConfigurationError(f"phase must be non-negative, got {self.phase}")
+
+    def events_between(self, start: float, end: float) -> List[Event]:
+        if end <= start:
+            return []
+        first_index = int(np.ceil((start - self.phase) / self.period))
+        first_index = max(first_index, 0)
+        events: List[Event] = []
+        index = first_index
+        while True:
+            time = self.phase + index * self.period
+            if time >= end:
+                break
+            if time >= start:
+                events.append(Event(time=time, kind=self.kind))
+            index += 1
+        self._emitted_up_to = max(self._emitted_up_to, end)
+        return events
+
+    def reset(self) -> None:
+        self._emitted_up_to = 0.0
+
+
+@dataclass
+class PoissonEventSource(EventSource):
+    """Memoryless random arrivals (the PF benchmark's incoming packets).
+
+    Arrival times are drawn once, lazily, from a seeded generator so the
+    same source replayed twice produces the same packet schedule —
+    repeatability is as important for events as it is for power traces.
+    """
+
+    mean_interarrival: float = 6.0
+    horizon: float = 7200.0
+    kind: str = "packet"
+    payload_size: int = 16
+    seed: int = 0
+    _times: np.ndarray = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.mean_interarrival <= 0.0:
+            raise ConfigurationError("mean interarrival must be positive")
+        if self.horizon <= 0.0:
+            raise ConfigurationError("horizon must be positive")
+        self._generate()
+
+    def _generate(self) -> None:
+        rng = np.random.default_rng(self.seed)
+        expected = int(np.ceil(self.horizon / self.mean_interarrival * 2.0)) + 10
+        gaps = rng.exponential(self.mean_interarrival, size=expected)
+        times = np.cumsum(gaps)
+        while times.size and times[-1] < self.horizon:
+            more = rng.exponential(self.mean_interarrival, size=expected)
+            times = np.concatenate([times, times[-1] + np.cumsum(more)])
+        self._times = times[times < self.horizon]
+
+    @property
+    def arrival_times(self) -> np.ndarray:
+        """All arrival times inside the horizon (read-only)."""
+        view = self._times.view()
+        view.flags.writeable = False
+        return view
+
+    def events_between(self, start: float, end: float) -> List[Event]:
+        if end <= start:
+            return []
+        mask = (self._times >= start) & (self._times < end)
+        return [
+            Event(time=float(t), kind=self.kind, payload_size=self.payload_size)
+            for t in self._times[mask]
+        ]
+
+    def reset(self) -> None:
+        self._generate()

@@ -1,0 +1,67 @@
+"""Hysteretic power gating between the buffer and the computational backend.
+
+Every buffer configuration in the paper sits behind an intermediate circuit
+that connects the MSP430 once the buffer reaches 3.3 V and disconnects it
+when the buffer falls to 1.8 V.  The gate is the component that turns a
+continuous voltage timeline into the familiar intermittent-computing on/off
+bursts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class PowerGate:
+    """A comparator-based hysteretic switch.
+
+    Parameters
+    ----------
+    enable_voltage:
+        Buffer voltage at which the load is connected (3.3 V in the paper's
+        testbed).
+    brownout_voltage:
+        Buffer voltage at which the load is disconnected (1.8 V).
+    quiescent_current:
+        Always-on current of the comparator/supervisor itself.
+    """
+
+    enable_voltage: float = 3.3
+    brownout_voltage: float = 1.8
+    quiescent_current: float = 0.4e-6
+    enabled: bool = field(default=False, init=False)
+    enable_count: int = field(default=0, init=False)
+    brownout_count: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.brownout_voltage <= 0.0:
+            raise ConfigurationError("brown-out voltage must be positive")
+        if self.enable_voltage <= self.brownout_voltage:
+            raise ConfigurationError(
+                "enable voltage must exceed the brown-out voltage "
+                f"({self.enable_voltage} <= {self.brownout_voltage})"
+            )
+        if self.quiescent_current < 0.0:
+            raise ConfigurationError("quiescent current must be non-negative")
+
+    def update(self, voltage: float) -> bool:
+        """Update the gate for the present buffer voltage.
+
+        Returns True when the load is connected after the update.
+        """
+        if not self.enabled and voltage >= self.enable_voltage:
+            self.enabled = True
+            self.enable_count += 1
+        elif self.enabled and voltage <= self.brownout_voltage:
+            self.enabled = False
+            self.brownout_count += 1
+        return self.enabled
+
+    def reset(self) -> None:
+        """Return to the cold-start (disconnected) state."""
+        self.enabled = False
+        self.enable_count = 0
+        self.brownout_count = 0

@@ -1,0 +1,69 @@
+"""Voltage instrumentation: REACT's two-comparator buffer-state monitor.
+
+REACT only needs to distinguish three buffer states — near capacity, near
+under-voltage, and OK — so its instrumentation is two low-power comparators
+watching the last-level buffer (§3.2.1).  The monitor's output is what the
+software controller polls at its (10 Hz by default) sampling rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.exceptions import ConfigurationError
+
+
+class BufferSignal(Enum):
+    """Discrete buffer-state signal produced by the voltage instrumentation."""
+
+    OK = "ok"
+    NEAR_FULL = "near_full"
+    NEAR_EMPTY = "near_empty"
+
+
+@dataclass
+class VoltageMonitor:
+    """Two-threshold comparator pair with a small quiescent draw.
+
+    Parameters
+    ----------
+    high_threshold:
+        Voltage above which the buffer is reported near capacity (the paper
+        uses 3.5 V, just below the 3.6 V overvoltage-protection point).
+    low_threshold:
+        Voltage below which the buffer is reported near empty (set above the
+        1.8 V brown-out point so the controller can react before the system
+        loses power).
+    """
+
+    high_threshold: float = 3.5
+    low_threshold: float = 2.0
+    quiescent_current: float = 0.7e-6
+    last_signal: BufferSignal = field(default=BufferSignal.OK, init=False)
+
+    def __post_init__(self) -> None:
+        if self.low_threshold <= 0.0:
+            raise ConfigurationError("low threshold must be positive")
+        if self.high_threshold <= self.low_threshold:
+            raise ConfigurationError(
+                "high threshold must exceed low threshold "
+                f"({self.high_threshold} <= {self.low_threshold})"
+            )
+        if self.quiescent_current < 0.0:
+            raise ConfigurationError("quiescent current must be non-negative")
+
+    def sample(self, voltage: float) -> BufferSignal:
+        """Classify the present buffer voltage into one of the three signals."""
+        if voltage >= self.high_threshold:
+            signal = BufferSignal.NEAR_FULL
+        elif voltage <= self.low_threshold:
+            signal = BufferSignal.NEAR_EMPTY
+        else:
+            signal = BufferSignal.OK
+        self.last_signal = signal
+        return signal
+
+    def reset(self) -> None:
+        """Clear the latched signal."""
+        self.last_signal = BufferSignal.OK

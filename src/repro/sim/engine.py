@@ -1,0 +1,183 @@
+"""The discrete-time simulation loop.
+
+Each step performs the same energy balance the paper's hardware testbed
+realizes physically:
+
+1. the harvesting frontend offers energy to the buffer (replaying the
+   power trace through the regulator model),
+2. the power gate compares the buffer output voltage against its enable /
+   brown-out thresholds and connects or disconnects the platform,
+3. the workload decides what the platform does this step and the resulting
+   load current is drawn from the buffer,
+4. the buffer runs its housekeeping (leakage, bank replenishment, and —
+   for adaptive buffers — controller polling and reconfiguration).
+
+After the power trace ends the system keeps running until the buffer is
+drained (the paper's methodology), bounded by ``max_drain_time``.
+
+The step size adapts to the platform state: while the system is off the
+dynamics are slow (a capacitor charging from a 1 Hz trace), so the
+simulator takes larger steps; while the system is on it uses a fine step so
+millisecond-scale atomic operations and brown-outs resolve correctly.
+"""
+
+from __future__ import annotations
+
+import time as wall_clock
+from typing import Optional
+
+from repro.exceptions import SimulationError
+from repro.platform.mcu import PowerMode
+from repro.sim.recorder import Recorder
+from repro.sim.results import SimulationResult
+from repro.sim.system import BatterylessSystem
+from repro.workloads.base import StepContext
+
+
+class Simulator:
+    """Fixed/adaptive-timestep simulator for a :class:`BatterylessSystem`."""
+
+    def __init__(
+        self,
+        system: BatterylessSystem,
+        dt_on: float = 0.01,
+        dt_off: float = 0.05,
+        drain_after_trace: bool = True,
+        max_drain_time: float = 600.0,
+        recorder: Optional[Recorder] = None,
+        max_steps: int = 50_000_000,
+    ) -> None:
+        if dt_on <= 0.0 or dt_off <= 0.0:
+            raise SimulationError("time steps must be positive")
+        if dt_off < dt_on:
+            raise SimulationError("dt_off should be at least as large as dt_on")
+        if max_drain_time < 0.0:
+            raise SimulationError("max drain time must be non-negative")
+        self.system = system
+        self.dt_on = dt_on
+        self.dt_off = dt_off
+        self.drain_after_trace = drain_after_trace
+        self.max_drain_time = max_drain_time
+        self.recorder = recorder
+        self.max_steps = max_steps
+
+    def run(self) -> SimulationResult:
+        """Run the full trace (plus drain period) and return the result."""
+        started_at = wall_clock.perf_counter()
+        system = self.system
+        frontend, buffer = system.frontend, system.buffer
+        mcu, gate, workload = system.mcu, system.gate, system.workload
+
+        trace_duration = frontend.duration
+        hard_stop = trace_duration + (self.max_drain_time if self.drain_after_trace else 0.0)
+        time = 0.0
+        latency: Optional[float] = None
+        steps = 0
+
+        while True:
+            if steps >= self.max_steps:
+                raise SimulationError(
+                    f"simulation exceeded {self.max_steps} steps without terminating"
+                )
+            if time >= trace_duration:
+                if not self.drain_after_trace or self._drained(time, hard_stop):
+                    break
+            dt = self.dt_on if gate.enabled else self.dt_off
+
+            # 1. Harvest.
+            offered = frontend.step(time, dt, buffer.output_voltage)
+            buffer.harvest(offered, dt)
+
+            # 2. Power gating.
+            was_on = gate.enabled
+            system_on = gate.update(buffer.output_voltage)
+            if system_on and not was_on:
+                mcu.set_mode(PowerMode.SLEEP)
+                if latency is None:
+                    latency = time
+            elif not system_on and was_on:
+                mcu.power_off()
+                workload.on_power_loss(time)
+
+            # 3. Workload and load current.
+            demand = workload.step(
+                StepContext(time=time, dt=dt, system_on=system_on, buffer=buffer)
+            )
+            if system_on:
+                mcu.set_mode(demand.mcu_mode)
+                load_current = (
+                    mcu.current()
+                    + demand.peripheral_current
+                    + gate.quiescent_current
+                    + buffer.overhead_current(True)
+                )
+            else:
+                load_current = gate.quiescent_current + buffer.overhead_current(False)
+            mcu.step(dt)
+            buffer.draw(load_current, dt)
+
+            # 4. Buffer housekeeping (leakage, replenishment, controllers).
+            buffer.housekeeping(time, dt, system_on)
+
+            if self.recorder is not None:
+                self.recorder.maybe_record(
+                    time=time,
+                    voltage=buffer.output_voltage,
+                    system_on=system_on,
+                    capacitance=buffer.capacitance,
+                    stored_energy=buffer.stored_energy,
+                    harvested_power=frontend.raw_power(time),
+                )
+
+            time += dt
+            steps += 1
+            if time >= hard_stop:
+                break
+
+        if gate.enabled:
+            # End-of-simulation power-down so workloads can account for any
+            # operation that was still in flight.
+            workload.on_power_loss(time)
+            mcu.power_off()
+
+        metrics = workload.metrics()
+        return SimulationResult(
+            trace_name=frontend.trace.name,
+            buffer_name=buffer.name,
+            workload_name=workload.name,
+            simulated_time=time,
+            trace_duration=trace_duration,
+            latency=latency,
+            on_time=mcu.on_time,
+            active_time=mcu.active_time,
+            enable_count=gate.enable_count,
+            brownout_count=gate.brownout_count,
+            work_units=metrics.work_units,
+            workload_metrics=metrics.as_dict(),
+            buffer_ledger=buffer.ledger.as_dict(),
+            energy_offered=buffer.ledger.offered,
+            energy_delivered_to_load=buffer.ledger.delivered,
+            wall_clock_seconds=wall_clock.perf_counter() - started_at,
+        )
+
+    def _drained(self, time: float, hard_stop: float) -> bool:
+        """True when the post-trace drain phase should stop."""
+        if time >= hard_stop:
+            return True
+        gate = self.system.gate
+        buffer = self.system.buffer
+        if gate.enabled:
+            return False
+        # The system is off; it can only restart if stored energy elsewhere
+        # in the buffer can still lift the output above the enable voltage.
+        return buffer.output_voltage < gate.enable_voltage and not self._can_reenable()
+
+    def _can_reenable(self) -> bool:
+        """Whether an off system might still come back without new input.
+
+        Adaptive buffers may hold charge in banks above the enable voltage
+        that replenishment (or reconfiguration) will move to the output;
+        each buffer architecture answers this through
+        :meth:`~repro.buffers.base.EnergyBuffer.can_reach_voltage`.
+        """
+        return self.system.buffer.can_reach_voltage(self.system.gate.enable_voltage)

@@ -1,0 +1,94 @@
+"""Timeline recording for voltage/operation plots (Figures 1 and 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """One recorded sample of the system state."""
+
+    time: float
+    voltage: float
+    system_on: bool
+    capacitance: float
+    stored_energy: float
+    harvested_power: float
+
+
+class Recorder:
+    """Decimated timeline recorder.
+
+    Recording every simulation step of a multi-hour trace would produce
+    millions of points; the recorder keeps one sample per ``record_period``
+    seconds, which is more than enough resolution for the voltage plots the
+    paper shows.
+    """
+
+    def __init__(self, record_period: float = 0.5) -> None:
+        if record_period <= 0.0:
+            raise ValueError(f"record period must be positive, got {record_period}")
+        self.record_period = record_period
+        self.points: List[TimelinePoint] = []
+        self._next_record_time = 0.0
+
+    def maybe_record(
+        self,
+        time: float,
+        voltage: float,
+        system_on: bool,
+        capacitance: float,
+        stored_energy: float,
+        harvested_power: float,
+    ) -> None:
+        """Record a sample if the decimation interval has elapsed."""
+        if time < self._next_record_time:
+            return
+        self._next_record_time = time + self.record_period
+        self.points.append(
+            TimelinePoint(
+                time=time,
+                voltage=voltage,
+                system_on=system_on,
+                capacitance=capacitance,
+                stored_energy=stored_energy,
+                harvested_power=harvested_power,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def as_arrays(self) -> Dict[str, np.ndarray]:
+        """Columnar view of the recorded timeline."""
+        return {
+            "time": np.array([p.time for p in self.points]),
+            "voltage": np.array([p.voltage for p in self.points]),
+            "system_on": np.array([p.system_on for p in self.points]),
+            "capacitance": np.array([p.capacitance for p in self.points]),
+            "stored_energy": np.array([p.stored_energy for p in self.points]),
+            "harvested_power": np.array([p.harvested_power for p in self.points]),
+        }
+
+    def on_intervals(self) -> List[tuple]:
+        """Contiguous (start, end) intervals during which the system was on."""
+        intervals: List[tuple] = []
+        start = None
+        for point in self.points:
+            if point.system_on and start is None:
+                start = point.time
+            elif not point.system_on and start is not None:
+                intervals.append((start, point.time))
+                start = None
+        if start is not None and self.points:
+            intervals.append((start, self.points[-1].time))
+        return intervals
+
+    def reset(self) -> None:
+        """Clear the recorded timeline."""
+        self.points = []
+        self._next_record_time = 0.0

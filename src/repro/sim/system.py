@@ -1,0 +1,73 @@
+"""Composition of a complete batteryless system under test."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.buffers.base import EnergyBuffer
+from repro.exceptions import ConfigurationError
+from repro.harvester.frontend import HarvestingFrontend
+from repro.harvester.regulator import Regulator
+from repro.harvester.trace import PowerTrace
+from repro.platform.gating import PowerGate
+from repro.platform.mcu import Microcontroller, MSP430FR5994
+from repro.workloads.base import Workload
+
+
+@dataclass
+class BatterylessSystem:
+    """A harvester, buffer, power gate, MCU, and workload wired together.
+
+    This is the unit the experiments sweep: the same trace and workload are
+    replayed against different buffer architectures, so the only component
+    that changes between rows of a results table is ``buffer``.
+    """
+
+    frontend: HarvestingFrontend
+    buffer: EnergyBuffer
+    workload: Workload
+    mcu: Microcontroller = field(default_factory=MSP430FR5994)
+    gate: PowerGate = field(default_factory=PowerGate)
+
+    def __post_init__(self) -> None:
+        if self.gate.enable_voltage > getattr(self.buffer, "max_voltage", float("inf")):
+            raise ConfigurationError(
+                "the power gate's enable voltage exceeds the buffer's maximum voltage"
+            )
+
+    @classmethod
+    def build(
+        cls,
+        trace: PowerTrace,
+        buffer: EnergyBuffer,
+        workload: Workload,
+        mcu: Optional[Microcontroller] = None,
+        gate: Optional[PowerGate] = None,
+        regulator: Optional[Regulator] = None,
+    ) -> "BatterylessSystem":
+        """Convenience constructor from a power trace and the two variables.
+
+        ``regulator`` defaults to an ideal conversion stage; pass a
+        :class:`~repro.harvester.regulator.BoostRegulator` to include
+        converter losses.
+        """
+        if regulator is None:
+            frontend = HarvestingFrontend(trace)
+        else:
+            frontend = HarvestingFrontend(trace, regulator=regulator)
+        return cls(
+            frontend=frontend,
+            buffer=buffer,
+            workload=workload,
+            mcu=mcu or MSP430FR5994(),
+            gate=gate or PowerGate(),
+        )
+
+    def reset(self) -> None:
+        """Return every component to its cold-start state."""
+        self.frontend.reset()
+        self.buffer.reset()
+        self.workload.reset()
+        self.mcu.reset()
+        self.gate.reset()

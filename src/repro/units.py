@@ -1,0 +1,92 @@
+"""Unit helpers and physical constants used across the library.
+
+All internal quantities use SI base units: volts, amperes, farads, joules,
+watts, seconds.  The helpers below exist so that configuration code can be
+written in the units the paper uses (microfarads, millifarads, milliwatts,
+microamps) without sprinkling powers of ten through the codebase.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Multiplicative prefixes
+# ---------------------------------------------------------------------------
+
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+KILO = 1e3
+
+
+def microfarads(value: float) -> float:
+    """Convert a value expressed in microfarads to farads."""
+    return value * MICRO
+
+
+def millifarads(value: float) -> float:
+    """Convert a value expressed in millifarads to farads."""
+    return value * MILLI
+
+
+def milliamps(value: float) -> float:
+    """Convert a value expressed in milliamps to amperes."""
+    return value * MILLI
+
+
+def microamps(value: float) -> float:
+    """Convert a value expressed in microamps to amperes."""
+    return value * MICRO
+
+
+def milliwatts(value: float) -> float:
+    """Convert a value expressed in milliwatts to watts."""
+    return value * MILLI
+
+
+def microwatts(value: float) -> float:
+    """Convert a value expressed in microwatts to watts."""
+    return value * MICRO
+
+
+def millijoules(value: float) -> float:
+    """Convert a value expressed in millijoules to joules."""
+    return value * MILLI
+
+
+def to_millijoules(joules: float) -> float:
+    """Convert joules to millijoules for reporting."""
+    return joules / MILLI
+
+
+def to_milliwatts(watts: float) -> float:
+    """Convert watts to milliwatts for reporting."""
+    return watts / MILLI
+
+
+def capacitor_energy(capacitance: float, voltage: float) -> float:
+    """Energy stored on an ideal capacitor: ``E = 1/2 C V^2``."""
+    return 0.5 * capacitance * voltage * voltage
+
+
+def capacitor_voltage(capacitance: float, charge: float) -> float:
+    """Voltage across an ideal capacitor holding ``charge`` coulombs."""
+    if capacitance <= 0.0:
+        raise ValueError(f"capacitance must be positive, got {capacitance}")
+    return charge / capacitance
+
+
+def capacitor_charge(capacitance: float, voltage: float) -> float:
+    """Charge stored on an ideal capacitor at ``voltage`` volts."""
+    return capacitance * voltage
+
+
+def usable_energy(capacitance: float, v_high: float, v_low: float) -> float:
+    """Energy extractable from a capacitor between two voltage levels.
+
+    This is the quantity batteryless designers size buffers by: the energy
+    available while the supply stays within the operating window
+    ``[v_low, v_high]``.
+    """
+    if v_high < v_low:
+        raise ValueError(f"v_high ({v_high}) must be >= v_low ({v_low})")
+    return 0.5 * capacitance * (v_high * v_high - v_low * v_low)

@@ -1,0 +1,39 @@
+"""Benchmark workloads (the paper's computational backends).
+
+Four workloads span the reactivity/longevity design space the paper uses to
+evaluate buffering strategies (§4.2):
+
+* :class:`DataEncryption` (DE) — continuous software AES-128; no reactivity
+  or persistence demands, a pure throughput baseline.
+* :class:`SenseAndCompute` (SC) — wake every five seconds to sample and
+  filter a microphone; reactivity-bound, low per-event energy.
+* :class:`RadioTransmit` (RT) — send buffered data in atomic, energy-hungry
+  radio transmissions; longevity-bound, delay-tolerant.
+* :class:`PacketForwarding` (PF) — receive unpredictable packets and forward
+  them; needs both reactivity (receive on arrival) and longevity (transmit).
+"""
+
+from repro.workloads.base import PowerDemand, StepContext, Workload, WorkloadMetrics
+from repro.workloads.data_encryption import DataEncryption
+from repro.workloads.sense_compute import SenseAndCompute
+from repro.workloads.radio_transmit import RadioTransmit
+from repro.workloads.packet_forwarding import PacketForwarding
+
+__all__ = [
+    "Workload",
+    "StepContext",
+    "PowerDemand",
+    "WorkloadMetrics",
+    "DataEncryption",
+    "SenseAndCompute",
+    "RadioTransmit",
+    "PacketForwarding",
+]
+
+#: The paper's benchmark abbreviations, mapping to workload factories.
+BENCHMARKS = {
+    "DE": DataEncryption,
+    "SC": SenseAndCompute,
+    "RT": RadioTransmit,
+    "PF": PacketForwarding,
+}

@@ -1,0 +1,112 @@
+"""Workload interface shared by all four benchmarks.
+
+A workload is a small state machine driven once per simulation step.  It
+receives a :class:`StepContext` describing the platform state and answers
+with a :class:`PowerDemand` — which MCU mode it wants and how much
+peripheral current it is drawing.  The simulator applies that demand to the
+energy buffer; the workload learns about brown-outs through
+:meth:`Workload.on_power_loss` so it can account for failed atomic
+operations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict
+
+from repro.platform.mcu import PowerMode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.buffers.base import EnergyBuffer
+
+
+@dataclass(frozen=True)
+class StepContext:
+    """Everything a workload may observe during one simulation step."""
+
+    time: float
+    dt: float
+    system_on: bool
+    buffer: "EnergyBuffer"
+
+
+@dataclass(frozen=True)
+class PowerDemand:
+    """The load a workload places on the platform for one step."""
+
+    mcu_mode: PowerMode = PowerMode.SLEEP
+    peripheral_current: float = 0.0
+
+    @classmethod
+    def off(cls) -> "PowerDemand":
+        """Demand of a powered-down system."""
+        return cls(mcu_mode=PowerMode.OFF, peripheral_current=0.0)
+
+    @classmethod
+    def sleeping(cls) -> "PowerDemand":
+        """Demand of an idle system in its normal (timer-driven) sleep mode."""
+        return cls(mcu_mode=PowerMode.SLEEP, peripheral_current=0.0)
+
+    @classmethod
+    def deep_sleeping(cls, peripheral_current: float = 0.0) -> "PowerDemand":
+        """Demand while parked in deep sleep waiting for energy to accumulate."""
+        return cls(mcu_mode=PowerMode.DEEP_SLEEP, peripheral_current=peripheral_current)
+
+    @classmethod
+    def active(cls, peripheral_current: float = 0.0) -> "PowerDemand":
+        """Demand of a system executing code (plus optional peripheral draw)."""
+        return cls(mcu_mode=PowerMode.ACTIVE, peripheral_current=peripheral_current)
+
+
+@dataclass
+class WorkloadMetrics:
+    """Common work-completed counters every workload reports."""
+
+    work_units: float = 0.0
+    failed_operations: int = 0
+    missed_events: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        row = {
+            "work_units": self.work_units,
+            "failed_operations": float(self.failed_operations),
+            "missed_events": float(self.missed_events),
+        }
+        row.update(self.extra)
+        return row
+
+
+class Workload(ABC):
+    """Abstract benchmark workload."""
+
+    #: Short name used in tables ("DE", "SC", "RT", "PF").
+    name: str = "workload"
+
+    @abstractmethod
+    def step(self, ctx: StepContext) -> PowerDemand:
+        """Advance the workload by one step and return its power demand.
+
+        Called every simulation step, including while the system is off
+        (``ctx.system_on`` False) so the workload can account for missed
+        deadlines or lost packets; in that case the returned demand is
+        ignored by the simulator.
+        """
+
+    @abstractmethod
+    def on_power_loss(self, time: float) -> None:
+        """Notification that the platform browned out at ``time`` seconds."""
+
+    @abstractmethod
+    def metrics(self) -> WorkloadMetrics:
+        """Work-completed counters accumulated so far."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Restore the workload to its initial state for a fresh run."""
+
+    @property
+    def work_units(self) -> float:
+        """The workload's figure of merit (used for Figure 7)."""
+        return self.metrics().work_units

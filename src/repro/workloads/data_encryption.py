@@ -1,0 +1,82 @@
+"""Data Encryption (DE) benchmark: continuous software AES-128.
+
+DE keeps the MCU in active mode whenever the platform is powered and counts
+completed AES-128 block-batch encryptions.  It has no reactivity or
+persistence requirements and a predictable power draw, which is why the
+paper uses it to characterize software and power overhead (§5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.base import PowerDemand, StepContext, Workload, WorkloadMetrics
+from repro.workloads.kernels.aes import AES128, aes128_self_test
+
+
+@dataclass
+class DataEncryption(Workload):
+    """Continuously encrypt buffered sensor data in software.
+
+    Parameters
+    ----------
+    unit_time:
+        Active-mode seconds one work unit (a batch of AES blocks) takes.
+        Partial progress is lost on power failure, modelling the lack of a
+        checkpoint inside the batch.
+    execute_kernel:
+        When True, actually run the AES kernel once per completed unit (the
+        energy cost is modelled either way; execution grounds the work
+        counter in real computation and is enabled in the examples).
+    """
+
+    unit_time: float = 0.15
+    execute_kernel: bool = False
+    key: bytes = bytes(range(16))
+    name: str = field(default="DE", init=False)
+
+    def __post_init__(self) -> None:
+        if self.unit_time <= 0.0:
+            raise ConfigurationError(f"unit time must be positive, got {self.unit_time}")
+        self._cipher = AES128(self.key)
+        self._progress = 0.0
+        self._counter = 0
+        self._metrics = WorkloadMetrics()
+        self._self_test_passed = aes128_self_test()
+
+    # -- Workload interface -------------------------------------------------------
+
+    def step(self, ctx: StepContext) -> PowerDemand:
+        if not ctx.system_on:
+            return PowerDemand.off()
+        self._progress += ctx.dt
+        while self._progress >= self.unit_time:
+            self._progress -= self.unit_time
+            self._complete_unit()
+        return PowerDemand.active()
+
+    def on_power_loss(self, time: float) -> None:
+        if self._progress > 0.0:
+            # The partially encrypted batch is discarded; its energy is wasted.
+            self._metrics.failed_operations += 1
+        self._progress = 0.0
+
+    def metrics(self) -> WorkloadMetrics:
+        self._metrics.extra["encryptions"] = self._metrics.work_units
+        self._metrics.extra["self_test_passed"] = float(self._self_test_passed)
+        return self._metrics
+
+    def reset(self) -> None:
+        self._progress = 0.0
+        self._counter = 0
+        self._metrics = WorkloadMetrics()
+
+    # -- internals -----------------------------------------------------------------
+
+    def _complete_unit(self) -> None:
+        if self.execute_kernel:
+            plaintext = self._counter.to_bytes(16, "big")
+            self._cipher.encrypt_block(plaintext)
+        self._counter += 1
+        self._metrics.work_units += 1.0

@@ -1,0 +1,23 @@
+"""Computational kernels executed by the benchmark workloads.
+
+The paper's benchmarks run real firmware kernels (software AES-128 for the
+data-encryption benchmark, digital filtering of microphone samples for the
+sense-and-compute benchmark).  The simulator accounts for their *energy*
+cost through the MCU's active current, but the kernels are also implemented
+here so that "work completed" is grounded in actual computation and the
+example applications produce real outputs.
+"""
+
+from repro.workloads.kernels.aes import AES128, aes128_encrypt_block, aes128_self_test
+from repro.workloads.kernels.fir import FirFilter, design_lowpass, moving_average
+from repro.workloads.kernels.crc import crc16_ccitt
+
+__all__ = [
+    "AES128",
+    "aes128_encrypt_block",
+    "aes128_self_test",
+    "FirFilter",
+    "design_lowpass",
+    "moving_average",
+    "crc16_ccitt",
+]

@@ -1,0 +1,21 @@
+"""CRC-16/CCITT checksum kernel.
+
+The packet-forwarding workload frames every retransmitted packet with a
+CRC so the example applications can verify end-to-end payload integrity
+through the simulated store-and-forward path.
+"""
+
+from __future__ import annotations
+
+
+def crc16_ccitt(data: bytes, initial: int = 0xFFFF) -> int:
+    """Compute the CRC-16/CCITT-FALSE checksum of ``data``."""
+    crc = initial
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ 0x1021) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+    return crc

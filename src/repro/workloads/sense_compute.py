@@ -1,0 +1,138 @@
+"""Sense and Compute (SC) benchmark: periodic microphone sampling.
+
+SC exits deep sleep once every five seconds to sample a low-power
+microphone and digitally filter the readings.  Individual measurements are
+cheap, but the system must be *on* when the deadline arrives — making SC the
+paper's reactivity-bound benchmark.  Deadlines that arrive while the system
+is powered off are missed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.platform.events import PeriodicEventSource
+from repro.platform.peripherals import Microphone
+from repro.workloads.base import PowerDemand, StepContext, Workload, WorkloadMetrics
+from repro.workloads.kernels.fir import FirFilter, design_lowpass
+
+
+@dataclass
+class SenseAndCompute(Workload):
+    """Periodic sense-and-filter workload.
+
+    Parameters
+    ----------
+    period:
+        Sensing deadline period in seconds (5 s in the paper).
+    sample_time:
+        Seconds spent sampling the microphone per measurement.
+    compute_time:
+        Seconds spent filtering per measurement.
+    execute_kernel:
+        When True, run the FIR kernel on synthetic microphone samples for
+        every completed measurement.
+    """
+
+    period: float = 5.0
+    sample_time: float = 0.02
+    compute_time: float = 0.03
+    execute_kernel: bool = False
+    name: str = field(default="SC", init=False)
+
+    def __post_init__(self) -> None:
+        if self.period <= 0.0:
+            raise ConfigurationError(f"period must be positive, got {self.period}")
+        if self.sample_time < 0.0 or self.compute_time < 0.0:
+            raise ConfigurationError("sample and compute times must be non-negative")
+        self._deadlines = PeriodicEventSource(period=self.period)
+        self._microphone = Microphone()
+        self._filter = FirFilter(design_lowpass(num_taps=15, cutoff=0.1))
+        self._rng = np.random.default_rng(7)
+        self._last_time = 0.0
+        self._pending_deadline = False
+        self._phase: Optional[str] = None
+        self._phase_remaining = 0.0
+        self._metrics = WorkloadMetrics()
+        self._readings: list[float] = []
+
+    # -- Workload interface --------------------------------------------------------
+
+    def step(self, ctx: StepContext) -> PowerDemand:
+        deadlines = self._deadlines.events_between(self._last_time, ctx.time + ctx.dt)
+        self._last_time = ctx.time + ctx.dt
+
+        if not ctx.system_on:
+            # Every deadline that fires while the platform is dark is missed.
+            self._metrics.missed_events += len(deadlines)
+            self._pending_deadline = False
+            return PowerDemand.off()
+
+        if deadlines:
+            # Multiple deadlines in one step can only happen with very coarse
+            # steps; the extra ones are unservable and count as missed.
+            self._metrics.missed_events += max(0, len(deadlines) - 1)
+            self._pending_deadline = True
+
+        if self._phase is None and self._pending_deadline:
+            self._pending_deadline = False
+            self._phase = "sample"
+            self._phase_remaining = self.sample_time
+
+        if self._phase is None:
+            return PowerDemand.sleeping()
+
+        self._phase_remaining -= ctx.dt
+        if self._phase == "sample":
+            demand = PowerDemand.active(
+                peripheral_current=self._microphone.active_current
+            )
+            if self._phase_remaining <= 0.0:
+                self._phase = "compute"
+                self._phase_remaining = self.compute_time
+            return demand
+
+        # compute phase
+        if self._phase_remaining <= 0.0:
+            self._complete_measurement()
+            self._phase = None
+            self._phase_remaining = 0.0
+        return PowerDemand.active()
+
+    def on_power_loss(self, time: float) -> None:
+        if self._phase is not None:
+            self._metrics.failed_operations += 1
+        self._phase = None
+        self._phase_remaining = 0.0
+        self._pending_deadline = False
+
+    def metrics(self) -> WorkloadMetrics:
+        self._metrics.extra["measurements"] = self._metrics.work_units
+        return self._metrics
+
+    def reset(self) -> None:
+        self._deadlines.reset()
+        self._filter.reset()
+        self._last_time = 0.0
+        self._pending_deadline = False
+        self._phase = None
+        self._phase_remaining = 0.0
+        self._metrics = WorkloadMetrics()
+        self._readings = []
+
+    # -- internals ------------------------------------------------------------------
+
+    def _complete_measurement(self) -> None:
+        if self.execute_kernel:
+            samples = self._rng.standard_normal(32)
+            self._readings.append(self._filter.rms(samples))
+        self._metrics.work_units += 1.0
+
+    @property
+    def readings(self) -> list[float]:
+        """Filtered sound-level readings (populated when the kernel executes)."""
+        return list(self._readings)

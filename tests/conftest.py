@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite.
+
+Simulation-based tests use short synthetic traces and a coarse timestep so
+the whole suite stays fast; the full-length evaluation lives in the
+benchmark harness and the ``react-repro`` CLI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.buffers.react_adapter import ReactBuffer
+from repro.buffers.static import StaticBuffer
+from repro.harvester.synthetic import rf_trace
+from repro.harvester.trace import PowerTrace
+from repro.platform.mcu import MSP430FR5994
+from repro.sim.engine import Simulator
+from repro.sim.system import BatterylessSystem
+from repro.units import microfarads
+
+
+@pytest.fixture
+def short_rf_trace() -> PowerTrace:
+    """A 90-second office-RF style trace for fast end-to-end tests."""
+    return rf_trace(duration=90.0, mean_power=1.5e-3, coefficient_of_variation=1.0, seed=5)
+
+
+@pytest.fixture
+def steady_trace() -> PowerTrace:
+    """A constant 5 mW supply: enough to keep any buffer charged."""
+    return PowerTrace(np.full(60, 5e-3), sample_period=1.0, name="steady")
+
+
+@pytest.fixture
+def weak_trace() -> PowerTrace:
+    """A constant 50 uW supply: below every workload's running draw."""
+    return PowerTrace(np.full(60, 50e-6), sample_period=1.0, name="weak")
+
+
+@pytest.fixture
+def small_static_buffer() -> StaticBuffer:
+    return StaticBuffer(microfarads(770.0), name="770 uF")
+
+
+@pytest.fixture
+def react_buffer() -> ReactBuffer:
+    return ReactBuffer()
+
+
+def build_simulator(trace, buffer, workload, **kwargs) -> Simulator:
+    """Simulator with test-friendly defaults (coarse steps, short drain)."""
+    system = BatterylessSystem.build(trace, buffer, workload, mcu=MSP430FR5994())
+    defaults = dict(dt_on=0.02, dt_off=0.1, max_drain_time=120.0)
+    defaults.update(kwargs)
+    return Simulator(system, **defaults)
+
+
+@pytest.fixture
+def simulator_factory():
+    """Factory fixture so tests can build simulators with custom pieces."""
+    return build_simulator

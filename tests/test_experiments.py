@@ -1,0 +1,119 @@
+"""Experiment harness: runner infrastructure, individual artifacts, and the CLI.
+
+The heavier table/figure sweeps are exercised at benchmark time; here the
+cheap experiments run end-to-end in quick mode and the grid runner is
+checked on a reduced subset.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.cli import build_parser, main
+from repro.experiments.runner import (
+    BUFFER_ORDER,
+    ExperimentRunner,
+    ExperimentSettings,
+    make_workload,
+    standard_buffers,
+)
+from repro.experiments import switching_loss, table1_configuration, table3_traces
+from repro.workloads import DataEncryption, PacketForwarding, RadioTransmit, SenseAndCompute
+
+
+class TestSettings:
+    def test_quick_mode_truncates_long_traces(self):
+        settings = ExperimentSettings(quick=True)
+        trace = settings.trace("Solar Campus")
+        assert trace.duration <= settings.quick_trace_cap + 1.0
+
+    def test_full_mode_keeps_table3_duration(self):
+        settings = ExperimentSettings(quick=False)
+        assert settings.trace("RF Cart").duration == pytest.approx(313.0, abs=1.0)
+
+    def test_effective_timesteps(self):
+        assert ExperimentSettings(quick=True).effective_dt_on == pytest.approx(0.02)
+        assert ExperimentSettings(quick=False).effective_dt_on == pytest.approx(0.01)
+
+    def test_traces_subset(self):
+        settings = ExperimentSettings(quick=True)
+        traces = settings.traces(["RF Cart", "RF Mobile"])
+        assert list(traces) == ["RF Cart", "RF Mobile"]
+
+
+class TestRunnerInfrastructure:
+    def test_standard_buffers_match_paper_order(self):
+        names = [buffer.name for buffer in standard_buffers()]
+        assert names == list(BUFFER_ORDER)
+
+    def test_make_workload_types(self):
+        assert isinstance(make_workload("DE", "RF Cart"), DataEncryption)
+        assert isinstance(make_workload("SC", "RF Cart"), SenseAndCompute)
+        assert isinstance(make_workload("RT", "RF Cart"), RadioTransmit)
+        pf = make_workload("PF", "Solar Commute")
+        assert isinstance(pf, PacketForwarding)
+        assert pf.mean_interarrival == pytest.approx(60.0)
+        with pytest.raises(KeyError):
+            make_workload("XX", "RF Cart")
+
+    def test_run_grid_subset(self):
+        settings = ExperimentSettings(quick=True)
+        runner = ExperimentRunner(settings)
+        seen = []
+        results = runner.run_grid(
+            workloads=("SC",),
+            trace_names=("RF Cart",),
+            progress=lambda r: seen.append(r.buffer_name),
+        )
+        assert len(results) == len(BUFFER_ORDER)
+        assert seen == [r.buffer_name for r in results]
+        assert {r.trace_name for r in results} == {"RF Cart"}
+
+
+class TestCheapExperiments:
+    def test_registry_is_complete(self):
+        expected = {
+            "fig1", "sec2", "switching-loss", "table1", "table2", "table3",
+            "table4", "table5", "fig6", "fig7", "overhead",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_table1_experiment(self):
+        output = table1_configuration.run(verbose=False)
+        assert output["config"].maximum_capacitance == pytest.approx(18.03e-3, rel=1e-3)
+        assert all(row["satisfies_eq2"] for row in output["sizing_rows"])
+
+    def test_table3_experiment(self):
+        output = table3_traces.run(ExperimentSettings(quick=True), verbose=False)
+        assert len(output["rows"]) == 5
+        for row in output["rows"]:
+            assert row["avg_power_mW"] == pytest.approx(row["paper_avg_power_mW"], rel=1e-3)
+
+    def test_switching_loss_experiment_matches_paper(self):
+        output = switching_loss.run(verbose=False)
+        by_size = {row["array_size"]: row for row in output["loss_rows"]}
+        assert by_size[4]["model_loss_fraction"] == pytest.approx(0.25, abs=1e-3)
+        assert by_size[8]["model_loss_fraction"] == pytest.approx(0.5625, abs=1e-3)
+        for row in output["reclamation_rows"]:
+            assert row["gain_factor"] == pytest.approx(row["expected_gain_N^2"], rel=1e-6)
+
+
+class TestCli:
+    def test_parser_accepts_known_experiments(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1", "--quick"])
+        assert args.experiment == "table1"
+        assert args.quick
+
+    def test_parser_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        captured = capsys.readouterr()
+        assert "table2" in captured.out
+
+    def test_run_single_cheap_experiment(self, capsys):
+        assert main(["table1", "--quick"]) == 0
+        captured = capsys.readouterr()
+        assert "Table 1" in captured.out

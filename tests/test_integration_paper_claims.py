@@ -1,0 +1,143 @@
+"""Integration tests tying the simulation to the paper's qualitative claims.
+
+These use short traces so they stay fast; the full-length reproduction of
+each table and figure lives in the benchmark harness and the CLI.  Each
+test asserts a *relationship* the paper reports (who wins, what fails),
+never an absolute count.
+"""
+
+import pytest
+
+from repro.buffers.morphy import MorphyBuffer
+from repro.buffers.react_adapter import ReactBuffer
+from repro.buffers.static import StaticBuffer
+from repro.harvester.synthetic import generate_table3_trace, rf_trace
+from repro.units import microfarads, millifarads
+from repro.workloads.data_encryption import DataEncryption
+from repro.workloads.radio_transmit import RadioTransmit
+from repro.workloads.sense_compute import SenseAndCompute
+
+from tests.conftest import build_simulator
+
+
+@pytest.fixture(scope="module")
+def volatile_trace():
+    """A bursty RF trace with clear surplus and deficit periods."""
+    return rf_trace(
+        duration=240.0, mean_power=0.6e-3, coefficient_of_variation=1.6, seed=9
+    )
+
+
+def run(trace, buffer, workload):
+    return build_simulator(trace, buffer, workload, max_drain_time=200.0).run()
+
+
+class TestReactivityClaims:
+    def test_react_latency_matches_small_static_buffer(self, volatile_trace):
+        """§5.2: REACT charges only its last-level buffer from cold start."""
+        small = run(volatile_trace, StaticBuffer(microfarads(770.0)), SenseAndCompute())
+        react = run(volatile_trace, ReactBuffer(), SenseAndCompute())
+        assert react.latency == pytest.approx(small.latency, rel=0.15)
+
+    def test_large_static_buffer_is_much_slower_to_start(self, volatile_trace):
+        small = run(volatile_trace, StaticBuffer(microfarads(770.0)), SenseAndCompute())
+        large = run(volatile_trace, StaticBuffer(millifarads(17.0)), SenseAndCompute())
+        assert large.latency is None or large.latency > 4.0 * small.latency
+
+    def test_morphy_starts_at_least_as_fast_as_react(self, volatile_trace):
+        """Morphy's smallest configuration (250 uF) undercuts REACT's 770 uF."""
+        morphy = run(volatile_trace, MorphyBuffer(), SenseAndCompute())
+        react = run(volatile_trace, ReactBuffer(), SenseAndCompute())
+        assert morphy.latency <= react.latency + 1.0
+
+
+class TestCapacityAndEfficiencyClaims:
+    def test_react_clips_less_than_the_small_static_buffer(self, volatile_trace):
+        small = run(volatile_trace, StaticBuffer(microfarads(770.0)), SenseAndCompute())
+        react = run(volatile_trace, ReactBuffer(), SenseAndCompute())
+        assert react.buffer_ledger["clipped"] <= small.buffer_ledger["clipped"]
+
+    def test_react_completes_at_least_as_much_work_as_static_designs(self, volatile_trace):
+        """Figure 7's direction on a single trace: REACT >= the static designs."""
+        react = run(volatile_trace, ReactBuffer(), SenseAndCompute())
+        for capacitance, name in ((770e-6, "770 uF"), (17e-3, "17 mF")):
+            static = run(volatile_trace, StaticBuffer(capacitance, name=name), SenseAndCompute())
+            assert react.work_units >= static.work_units * 0.95
+
+    def test_morphy_pays_switching_losses_react_avoids(self, volatile_trace):
+        morphy = run(volatile_trace, MorphyBuffer(), SenseAndCompute())
+        react = run(volatile_trace, ReactBuffer(), SenseAndCompute())
+        offered = morphy.buffer_ledger["offered"]
+        assert morphy.buffer_ledger["switching_loss"] > 0.0
+        assert (
+            react.buffer_ledger["switching_loss"] / react.buffer_ledger["offered"]
+            < morphy.buffer_ledger["switching_loss"] / offered
+        )
+
+    def test_oversized_buffer_never_starts_on_weak_trace(self):
+        """Table 4's '-' entry: 17 mF cannot start on RF Obstruction-class power."""
+        weak = rf_trace(duration=200.0, mean_power=0.2e-3, coefficient_of_variation=0.6, seed=2)
+        large = run(weak, StaticBuffer(millifarads(17.0)), SenseAndCompute())
+        small = run(weak, StaticBuffer(microfarads(770.0)), SenseAndCompute())
+        react = run(weak, ReactBuffer(), SenseAndCompute())
+        assert not large.started
+        assert small.started
+        assert react.started
+
+
+class TestLongevityClaims:
+    def test_small_static_buffer_fails_transmissions(self, volatile_trace):
+        """§5.4: the 770 uF buffer wastes energy on doomed transmissions."""
+        result = run(
+            volatile_trace,
+            StaticBuffer(microfarads(770.0)),
+            RadioTransmit(use_longevity_guarantee=False),
+        )
+        assert result.workload_metrics["failed_operations"] > result.work_units
+
+    def test_longevity_guarantee_converts_failures_into_successes(self, volatile_trace):
+        eager = run(
+            volatile_trace, ReactBuffer(), RadioTransmit(use_longevity_guarantee=False)
+        )
+        guarded = run(
+            volatile_trace, ReactBuffer(), RadioTransmit(use_longevity_guarantee=True)
+        )
+        assert guarded.work_units >= eager.work_units
+        assert (
+            guarded.workload_metrics["failed_operations"]
+            <= eager.workload_metrics["failed_operations"]
+        )
+
+    def test_react_outperforms_small_buffer_on_radio_transmit(self, volatile_trace):
+        small = run(
+            volatile_trace,
+            StaticBuffer(microfarads(770.0)),
+            RadioTransmit(use_longevity_guarantee=False),
+        )
+        react = run(volatile_trace, ReactBuffer(), RadioTransmit())
+        assert react.work_units > small.work_units
+
+
+class TestOverheadClaims:
+    def test_react_overhead_is_small_on_continuous_power(self, steady_trace):
+        """§5.1: REACT costs a few percent, not tens of percent, of throughput."""
+        import numpy as np
+
+        from repro.harvester.trace import PowerTrace
+
+        trace = PowerTrace(np.full(120, 20e-3), 1.0, name="bench supply")
+        react = build_simulator(
+            trace, ReactBuffer(), DataEncryption(), drain_after_trace=False
+        ).run()
+        static = build_simulator(
+            trace, StaticBuffer(microfarads(770.0)), DataEncryption(), drain_after_trace=False
+        ).run()
+        assert react.work_units >= 0.9 * static.work_units
+
+    def test_deterministic_repetition(self, short_rf_trace):
+        """The same configuration simulated twice produces identical results."""
+        first = run(short_rf_trace, ReactBuffer(), SenseAndCompute())
+        second = run(short_rf_trace, ReactBuffer(), SenseAndCompute())
+        assert first.work_units == second.work_units
+        assert first.latency == second.latency
+        assert first.buffer_ledger == second.buffer_ledger

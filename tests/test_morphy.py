@@ -1,0 +1,180 @@
+"""Morphy switched-capacitor buffer: configurations, physics, and policy."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.buffers.morphy import (
+    DEFAULT_CONFIGURATIONS,
+    MorphyBuffer,
+    MorphyConfiguration,
+    MorphyConfigurationTable,
+)
+from repro.exceptions import ConfigurationError
+from repro.units import millifarads
+
+
+class TestConfigurationTable:
+    def test_default_table_has_eleven_configurations(self):
+        table = MorphyConfigurationTable()
+        assert table.max_level + 1 == 11
+
+    def test_default_range_matches_paper(self):
+        low, high = MorphyConfigurationTable().capacitance_range
+        assert low == pytest.approx(250e-6, rel=1e-6)
+        assert high == pytest.approx(16e-3, rel=1e-6)
+
+    def test_levels_are_monotonically_increasing(self):
+        levels = MorphyConfigurationTable().levels()
+        assert all(b > a for a, b in zip(levels, levels[1:]))
+
+    def test_generic_fallback_for_other_sizes(self):
+        table = MorphyConfigurationTable(cap_count=4, unit_capacitance=millifarads(1.0))
+        assert table.equivalent_capacitance(0) == pytest.approx(0.25e-3)
+        assert table.equivalent_capacitance(table.max_level) == pytest.approx(
+            1e-3 / 1 + 3e-3
+        )
+
+    def test_configuration_validation(self):
+        with pytest.raises(ConfigurationError):
+            MorphyConfiguration(groups=())
+        with pytest.raises(ConfigurationError):
+            MorphyConfiguration(groups=(0,))
+        with pytest.raises(ConfigurationError):
+            MorphyConfigurationTable(cap_count=1)
+        with pytest.raises(ConfigurationError):
+            MorphyConfigurationTable(
+                cap_count=2, configurations=(MorphyConfiguration(groups=(3,)),)
+            )
+
+    def test_level_bounds_checked(self):
+        table = MorphyConfigurationTable()
+        with pytest.raises(ConfigurationError):
+            table.configuration(99)
+
+
+class TestReconfigurationPhysics:
+    def test_paper_eight_capacitor_loss(self):
+        """Leaving full parallel for 7-series + 1-across dissipates 56.25 %."""
+        configurations = (
+            MorphyConfiguration(groups=(1,) * 7, across=1),
+            MorphyConfiguration(groups=(8,)),
+        )
+        buffer = MorphyBuffer(
+            configurations=configurations,
+            max_voltage=50.0,
+            high_threshold=45.0,
+            low_threshold=0.5,
+            brownout_voltage=0.4,
+        )
+        buffer.set_state(1, [1.0] * 8)
+        before = buffer.stored_energy
+        dissipated = buffer.reconfigure(0)
+        assert dissipated / before == pytest.approx(0.5625)
+
+    def test_reconfiguration_leaves_across_caps_at_output_voltage(self):
+        """After equalization every across capacitor sits at the output voltage."""
+        buffer = MorphyBuffer()
+        buffer.set_state(3, [0.7, 0.7, 0.9, 0.9, 1.1, 1.1, 1.3, 1.3])
+        buffer.reconfigure(5)  # a configuration with capacitors across the output
+        config = buffer.configuration
+        groups, across, _ = buffer._membership(config)
+        output = buffer.output_voltage
+        assert across, "target configuration should place capacitors across the output"
+        for index in across:
+            assert buffer._voltages[index] == pytest.approx(output, rel=1e-9)
+
+    def test_homogeneous_regrouping_of_equal_voltages_is_lossless(self):
+        """Regrouping equal-voltage capacitors into equal groups moves no charge."""
+        buffer = MorphyBuffer()
+        buffer.set_state(0, [1.0] * 8)
+        dissipated = buffer.reconfigure(3)  # (1x8) -> (2,2,2,2), all cells equal
+        assert dissipated == pytest.approx(0.0, abs=1e-15)
+
+    def test_reconfiguration_never_creates_energy(self):
+        buffer = MorphyBuffer()
+        buffer.set_state(2, [0.5, 1.0, 1.5, 2.0, 0.4, 0.8, 1.2, 1.6])
+        before = buffer.stored_energy
+        buffer.reconfigure(5)
+        assert buffer.stored_energy <= before + 1e-12
+
+    def test_same_level_reconfiguration_is_free(self):
+        buffer = MorphyBuffer()
+        buffer.set_state(2, [1.0] * 8)
+        assert buffer.reconfigure(2) == 0.0
+
+    def test_set_state_validation(self):
+        buffer = MorphyBuffer()
+        with pytest.raises(ConfigurationError):
+            buffer.set_state(99, [1.0] * 8)
+        with pytest.raises(ConfigurationError):
+            buffer.set_state(0, [1.0] * 3)
+        with pytest.raises(ConfigurationError):
+            buffer.set_state(0, [-1.0] * 8)
+
+    @given(
+        level_from=st.integers(0, 10),
+        level_to=st.integers(0, 10),
+        voltage=st.floats(0.1, 3.5),
+    )
+    def test_arbitrary_reconfigurations_are_dissipative_only(self, level_from, level_to, voltage):
+        buffer = MorphyBuffer()
+        buffer.set_state(level_from, [voltage] * 8)
+        before = buffer.stored_energy
+        buffer.reconfigure(level_to)
+        assert buffer.stored_energy <= before + 1e-12
+        assert all(v >= 0.0 for v in buffer._voltages)
+
+
+class TestEnergyFlow:
+    def test_harvest_raises_output_voltage(self):
+        buffer = MorphyBuffer()
+        buffer.harvest(1e-3, dt=1.0)
+        assert buffer.output_voltage > 0.0
+
+    def test_network_efficiency_charged_on_both_directions(self):
+        buffer = MorphyBuffer(network_efficiency=0.9)
+        buffer.harvest(1e-3, dt=1.0)
+        assert buffer.ledger.stored == pytest.approx(0.9e-3, rel=1e-6)
+        delivered = buffer.draw(current=1e-3, dt=1.0)
+        assert buffer.ledger.switching_loss > 0.0
+        assert delivered < buffer.ledger.stored
+
+    def test_overvoltage_clipping(self):
+        buffer = MorphyBuffer()
+        buffer.harvest(10.0, dt=1.0)
+        assert buffer.output_voltage <= buffer.max_voltage + 1e-9
+        assert buffer.ledger.clipped > 0.0
+
+    def test_policy_expands_on_high_voltage(self):
+        buffer = MorphyBuffer()
+        buffer.set_state(0, [3.55 / 8.0] * 8)  # output at 3.55 V, above the threshold
+        buffer.housekeeping(time=0.0, dt=0.1, system_on=False)
+        assert buffer.level == 1
+        assert buffer.reconfiguration_count == 1
+
+    def test_policy_steps_down_on_low_voltage(self):
+        buffer = MorphyBuffer()
+        buffer.set_state(2, [0.3] * 8)
+        buffer.housekeeping(time=0.0, dt=0.1, system_on=False)
+        assert buffer.level == 1
+
+    def test_longevity_supported(self):
+        buffer = MorphyBuffer()
+        assert buffer.supports_longevity
+        buffer.request_longevity(1e-3)
+        assert not buffer.longevity_satisfied()
+
+    def test_can_reach_voltage_accounts_for_reconfiguration(self):
+        buffer = MorphyBuffer()
+        buffer.set_state(buffer.table.max_level, [1.0] * 8)
+        # At 16 mF the output is only 1 V, but concentrating the same energy
+        # on 250 uF would exceed the enable voltage.
+        assert buffer.output_voltage < 3.3
+        assert buffer.can_reach_voltage(3.3)
+
+    def test_reset(self):
+        buffer = MorphyBuffer()
+        buffer.harvest(1e-3, dt=1.0)
+        buffer.reset()
+        assert buffer.stored_energy == 0.0
+        assert buffer.level == 0

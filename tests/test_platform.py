@@ -1,0 +1,183 @@
+"""Platform models: MCU power modes, peripherals, gating, monitor, events."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.platform.events import PeriodicEventSource, PoissonEventSource
+from repro.platform.gating import PowerGate
+from repro.platform.mcu import Microcontroller, MSP430FR5994, PowerMode
+from repro.platform.monitor import BufferSignal, VoltageMonitor
+from repro.platform.peripherals import Microphone, Peripheral, Radio, RadioOperation
+
+
+class TestMicrocontroller:
+    def test_mode_currents_are_ordered(self):
+        mcu = MSP430FR5994()
+        assert mcu.current(PowerMode.ACTIVE) > mcu.current(PowerMode.SLEEP)
+        assert mcu.current(PowerMode.SLEEP) > mcu.current(PowerMode.DEEP_SLEEP)
+        assert mcu.current(PowerMode.OFF) == 0.0
+
+    def test_step_accumulates_time_and_charge(self):
+        mcu = MSP430FR5994()
+        mcu.set_mode(PowerMode.ACTIVE)
+        mcu.step(2.0)
+        assert mcu.active_time == pytest.approx(2.0)
+        assert mcu.charge_drawn == pytest.approx(2.0 * mcu.active_current)
+
+    def test_wakeup_counting(self):
+        mcu = MSP430FR5994()
+        mcu.set_mode(PowerMode.SLEEP)
+        mcu.power_off()
+        mcu.set_mode(PowerMode.ACTIVE)
+        assert mcu.wakeup_count == 2
+
+    def test_on_time_includes_all_powered_modes(self):
+        mcu = MSP430FR5994()
+        for mode in (PowerMode.ACTIVE, PowerMode.SLEEP, PowerMode.DEEP_SLEEP):
+            mcu.set_mode(mode)
+            mcu.step(1.0)
+        assert mcu.on_time == pytest.approx(3.0)
+
+    def test_reset(self):
+        mcu = MSP430FR5994()
+        mcu.set_mode(PowerMode.ACTIVE)
+        mcu.step(1.0)
+        mcu.reset()
+        assert mcu.mode is PowerMode.OFF
+        assert mcu.charge_drawn == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Microcontroller(active_current=-1.0)
+        with pytest.raises(ConfigurationError):
+            Microcontroller(active_current=1e-3, sleep_current=2e-3)
+        with pytest.raises(ConfigurationError):
+            Microcontroller(sleep_current=1e-6, deep_sleep_current=2e-6)
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValueError):
+            MSP430FR5994().step(-1.0)
+
+
+class TestPeripherals:
+    def test_generic_peripheral_tracks_usage(self):
+        peripheral = Peripheral(name="sensor", active_current=1e-3)
+        peripheral.in_use = True
+        current = peripheral.step(0.5)
+        assert current == pytest.approx(1e-3)
+        assert peripheral.time_in_use == pytest.approx(0.5)
+
+    def test_microphone_factory(self):
+        mic = Microphone()
+        assert mic.active_current == pytest.approx(230e-6)
+
+    def test_radio_energy_estimates(self):
+        radio = Radio()
+        assert radio.transmit_energy == pytest.approx(
+            radio.transmit_current * radio.nominal_voltage * radio.transmit_time
+        )
+        assert radio.receive_energy < radio.transmit_energy
+
+    def test_radio_operation_currents(self):
+        radio = Radio()
+        radio.operation = RadioOperation.TRANSMIT
+        assert radio.current() == radio.transmit_current
+        radio.operation = RadioOperation.RECEIVE
+        assert radio.current() == radio.receive_current
+        radio.operation = RadioOperation.IDLE
+        assert radio.current() == radio.idle_current
+
+    def test_radio_step_accumulates_time(self):
+        radio = Radio()
+        radio.operation = RadioOperation.TRANSMIT
+        radio.step(0.1)
+        assert radio.time_transmitting == pytest.approx(0.1)
+        radio.reset()
+        assert radio.time_transmitting == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Peripheral(name="bad", active_current=-1.0)
+        with pytest.raises(ConfigurationError):
+            Radio(transmit_current=-1.0)
+
+
+class TestPowerGate:
+    def test_hysteresis_cycle(self):
+        gate = PowerGate(enable_voltage=3.3, brownout_voltage=1.8)
+        assert not gate.update(3.0)
+        assert gate.update(3.3)
+        assert gate.update(2.0)          # stays on above brown-out
+        assert not gate.update(1.8)      # disconnects at brown-out
+        assert gate.enable_count == 1
+        assert gate.brownout_count == 1
+
+    def test_reset(self):
+        gate = PowerGate()
+        gate.update(3.5)
+        gate.reset()
+        assert not gate.enabled
+        assert gate.enable_count == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerGate(enable_voltage=1.5, brownout_voltage=1.8)
+        with pytest.raises(ConfigurationError):
+            PowerGate(enable_voltage=3.3, brownout_voltage=0.0)
+
+
+class TestVoltageMonitor:
+    def test_three_state_classification(self):
+        monitor = VoltageMonitor(high_threshold=3.5, low_threshold=2.0)
+        assert monitor.sample(3.6) is BufferSignal.NEAR_FULL
+        assert monitor.sample(2.5) is BufferSignal.OK
+        assert monitor.sample(1.9) is BufferSignal.NEAR_EMPTY
+        assert monitor.last_signal is BufferSignal.NEAR_EMPTY
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            VoltageMonitor(high_threshold=1.0, low_threshold=2.0)
+
+    def test_reset(self):
+        monitor = VoltageMonitor()
+        monitor.sample(3.9)
+        monitor.reset()
+        assert monitor.last_signal is BufferSignal.OK
+
+
+class TestEventSources:
+    def test_periodic_events_fire_on_schedule(self):
+        source = PeriodicEventSource(period=5.0)
+        events = source.events_between(0.0, 16.0)
+        assert [event.time for event in events] == [0.0, 5.0, 10.0, 15.0]
+
+    def test_periodic_events_partial_window(self):
+        source = PeriodicEventSource(period=5.0)
+        events = source.events_between(6.0, 11.0)
+        assert [event.time for event in events] == [10.0]
+
+    def test_periodic_empty_window(self):
+        assert PeriodicEventSource(period=5.0).events_between(3.0, 3.0) == []
+
+    def test_periodic_validation(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicEventSource(period=0.0)
+
+    def test_poisson_events_are_deterministic_per_seed(self):
+        first = PoissonEventSource(mean_interarrival=5.0, horizon=100.0, seed=1)
+        second = PoissonEventSource(mean_interarrival=5.0, horizon=100.0, seed=1)
+        assert list(first.arrival_times) == list(second.arrival_times)
+
+    def test_poisson_rate_is_roughly_right(self):
+        source = PoissonEventSource(mean_interarrival=5.0, horizon=10_000.0, seed=2)
+        count = len(source.arrival_times)
+        assert count == pytest.approx(2000, rel=0.15)
+
+    def test_poisson_events_between_window(self):
+        source = PoissonEventSource(mean_interarrival=2.0, horizon=100.0, seed=3)
+        events = source.events_between(10.0, 20.0)
+        assert all(10.0 <= event.time < 20.0 for event in events)
+
+    def test_poisson_validation(self):
+        with pytest.raises(ConfigurationError):
+            PoissonEventSource(mean_interarrival=0.0)

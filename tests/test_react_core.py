@@ -1,0 +1,232 @@
+"""REACT core: configuration, banks, sizing math, and reclamation accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bank import BankState, CapacitorBank
+from repro.core.config import BankSpec, ReactConfig, table1_config
+from repro.core.reclamation import (
+    reclaimable_energy,
+    reclamation_gain_factor,
+    stranded_energy_with_reclamation,
+    stranded_energy_without_reclamation,
+)
+from repro.core.sizing import (
+    max_unit_capacitance,
+    validate_bank_sizing,
+    voltage_after_series_switch,
+)
+from repro.exceptions import BankStateError, ConfigurationError
+from repro.units import microfarads
+
+
+class TestConfig:
+    def test_table1_capacitance_range(self):
+        config = table1_config()
+        assert config.minimum_capacitance == pytest.approx(770e-6)
+        assert config.maximum_capacitance == pytest.approx(18.03e-3, rel=1e-3)
+
+    def test_table1_bank_rows(self):
+        rows = table1_config().describe_banks()
+        assert rows[0]["capacitor_count"] == 1
+        assert len(rows) == 6
+        assert rows[5]["capacitor_size_uF"] == pytest.approx(5000.0)
+
+    def test_capacitance_levels_are_monotone(self):
+        levels = table1_config().capacitance_levels
+        assert len(levels) == 11
+        assert all(b > a for a, b in zip(levels, levels[1:]))
+
+    def test_software_overhead_fraction(self):
+        config = table1_config()
+        expected = config.poll_rate_hz * config.poll_active_time
+        assert config.software_overhead_fraction(1.5e-3) == pytest.approx(expected)
+
+    def test_overrides_forwarded(self):
+        config = table1_config(high_threshold=3.4)
+        assert config.high_threshold == 3.4
+        assert len(config.banks) == 5
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReactConfig(high_threshold=1.0, low_threshold=2.0)
+        with pytest.raises(ConfigurationError):
+            ReactConfig(enable_voltage=1.0, brownout_voltage=1.8)
+        with pytest.raises(ConfigurationError):
+            ReactConfig(high_threshold=4.0, max_voltage=3.6)
+
+    def test_bank_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            BankSpec(unit_capacitance=0.0, count=3)
+        with pytest.raises(ConfigurationError):
+            BankSpec(unit_capacitance=1e-3, count=0)
+
+    def test_bank_spec_derived_capacitances(self):
+        spec = BankSpec(unit_capacitance=microfarads(220.0), count=3)
+        assert spec.series_capacitance == pytest.approx(220e-6 / 3.0)
+        assert spec.parallel_capacitance == pytest.approx(660e-6)
+
+
+class TestCapacitorBank:
+    def make_bank(self, count=3, unit=220e-6) -> CapacitorBank:
+        return CapacitorBank(spec=BankSpec(unit_capacitance=unit, count=count), name="bank")
+
+    def test_state_machine_up_and_down(self):
+        bank = self.make_bank()
+        assert bank.state is BankState.DISCONNECTED
+        bank.step_up()
+        assert bank.state is BankState.SERIES
+        bank.step_up()
+        assert bank.state is BankState.PARALLEL
+        bank.step_down()
+        assert bank.state is BankState.SERIES
+        bank.step_down()
+        assert bank.state is BankState.DISCONNECTED
+
+    def test_illegal_transitions_rejected(self):
+        bank = self.make_bank()
+        with pytest.raises(BankStateError):
+            bank.to_parallel()
+        with pytest.raises(BankStateError):
+            bank.disconnect()
+        bank.connect_series()
+        with pytest.raises(BankStateError):
+            bank.connect_series()
+        bank.to_parallel()
+        with pytest.raises(BankStateError):
+            bank.step_up()
+
+    def test_output_voltage_depends_on_configuration(self):
+        bank = self.make_bank(count=3)
+        bank.connect_series()
+        bank.set_cell_voltage(1.0)
+        assert bank.output_voltage == pytest.approx(3.0)
+        assert bank.equivalent_capacitance == pytest.approx(220e-6 / 3.0)
+        bank.to_parallel()
+        assert bank.output_voltage == pytest.approx(1.0)
+        assert bank.equivalent_capacitance == pytest.approx(660e-6)
+
+    def test_reconfiguration_conserves_stored_energy(self):
+        bank = self.make_bank()
+        bank.connect_series()
+        bank.set_cell_voltage(1.2)
+        before = bank.stored_energy
+        bank.to_parallel()
+        assert bank.stored_energy == pytest.approx(before)
+        bank.to_series()
+        assert bank.stored_energy == pytest.approx(before)
+
+    def test_absorb_energy_respects_output_clamp(self):
+        bank = self.make_bank(count=3)
+        bank.connect_series()
+        stored = bank.absorb_energy(1.0, max_output_voltage=3.6)
+        # In series the output clamp limits every cell to 1.2 V.
+        assert bank.cell_voltage == pytest.approx(1.2)
+        assert stored == pytest.approx(bank.stored_energy)
+
+    def test_absorb_energy_disconnected_is_rejected_quietly(self):
+        bank = self.make_bank()
+        assert bank.absorb_energy(1e-3, 3.6) == 0.0
+
+    def test_set_output_voltage(self):
+        bank = self.make_bank(count=3)
+        bank.connect_series()
+        bank.set_output_voltage(3.0)
+        assert bank.cell_voltage == pytest.approx(1.0)
+
+    def test_leakage_reduces_cell_voltage(self):
+        from repro.capacitors.leakage import ConstantCurrentLeakage
+
+        bank = CapacitorBank(
+            spec=BankSpec(unit_capacitance=220e-6, count=3),
+            leakage=ConstantCurrentLeakage(1e-6),
+        )
+        bank.connect_series()
+        bank.set_cell_voltage(2.0)
+        leaked = bank.apply_leakage(10.0)
+        assert leaked > 0.0
+        assert bank.cell_voltage < 2.0
+
+    def test_reset(self):
+        bank = self.make_bank()
+        bank.connect_series()
+        bank.set_cell_voltage(1.0)
+        bank.reset()
+        assert bank.state is BankState.DISCONNECTED
+        assert bank.cell_voltage == 0.0
+
+
+class TestSizingMath:
+    def test_equation1_matches_manual_redistribution(self):
+        # 880 uF x3 bank reclaimed at 1.9 V onto a 770 uF last-level buffer.
+        voltage = voltage_after_series_switch(3, 880e-6, 770e-6, 1.9)
+        series_c = 880e-6 / 3.0
+        expected = (3 * 1.9 * series_c + 1.9 * 770e-6) / (series_c + 770e-6)
+        assert voltage == pytest.approx(expected)
+        assert 1.9 < voltage < 3.5
+
+    def test_equation2_binds_only_when_boost_exceeds_high_threshold(self):
+        assert max_unit_capacitance(1, 770e-6, 3.5, 1.9) == float("inf")
+        limit = max_unit_capacitance(3, 770e-6, 3.5, 1.9)
+        assert limit > 0.0
+        assert validate_bank_sizing(3, 880e-6, 770e-6, 3.5, 1.9)
+
+    def test_equation2_consistency_with_equation1(self):
+        """A bank exactly at the Eq. 2 limit produces exactly V_high in Eq. 1."""
+        limit = max_unit_capacitance(3, 770e-6, 3.5, 1.9)
+        voltage = voltage_after_series_switch(3, limit, 770e-6, 1.9)
+        assert voltage == pytest.approx(3.5, rel=1e-9)
+
+    def test_table1_banks_satisfy_equation2(self):
+        config = table1_config()
+        for bank in config.banks:
+            assert validate_bank_sizing(
+                bank.count,
+                bank.unit_capacitance,
+                config.last_level_capacitance,
+                config.high_threshold,
+                config.low_threshold,
+            )
+
+    def test_sizing_validation(self):
+        with pytest.raises(ConfigurationError):
+            voltage_after_series_switch(0, 1e-3, 1e-3, 2.0)
+        with pytest.raises(ConfigurationError):
+            max_unit_capacitance(3, 1e-3, 1.0, 2.0)
+
+    @given(
+        cells=st.integers(2, 6),
+        unit=st.floats(10e-6, 5e-3),
+        last=st.floats(100e-6, 5e-3),
+        low=st.floats(1.0, 2.5),
+    )
+    def test_equation1_output_is_between_trigger_and_boost(self, cells, unit, last, low):
+        voltage = voltage_after_series_switch(cells, unit, last, low)
+        assert low - 1e-9 <= voltage <= cells * low + 1e-9
+
+
+class TestReclamation:
+    def test_gain_factor_is_n_squared(self):
+        assert reclamation_gain_factor(3) == 9.0
+        assert reclamation_gain_factor(1) == 1.0
+
+    def test_stranded_energy_ratio(self):
+        without = stranded_energy_without_reclamation(3, 880e-6, 1.9)
+        with_reclamation = stranded_energy_with_reclamation(3, 880e-6, 1.9)
+        assert without / with_reclamation == pytest.approx(9.0)
+
+    def test_reclaimable_energy_is_difference(self):
+        assert reclaimable_energy(3, 880e-6, 1.9) == pytest.approx(
+            stranded_energy_without_reclamation(3, 880e-6, 1.9)
+            - stranded_energy_with_reclamation(3, 880e-6, 1.9)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            reclamation_gain_factor(0)
+        with pytest.raises(ConfigurationError):
+            stranded_energy_without_reclamation(3, -1.0, 1.9)
+
+    @given(cells=st.integers(1, 8), unit=st.floats(1e-6, 1e-2), low=st.floats(0.0, 4.0))
+    def test_reclamation_never_negative(self, cells, unit, low):
+        assert reclaimable_energy(cells, unit, low) >= -1e-15

@@ -1,0 +1,227 @@
+"""Simulation engine, system composition, recorder, results, and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.buffers.react_adapter import ReactBuffer
+from repro.buffers.static import StaticBuffer
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.harvester.trace import PowerTrace
+from repro.platform.gating import PowerGate
+from repro.sim.engine import Simulator
+from repro.sim.metrics import (
+    aggregate_results,
+    improvement_over,
+    mean_normalized_performance,
+    normalize_to_reference,
+)
+from repro.sim.recorder import Recorder
+from repro.sim.results import SimulationResult
+from repro.sim.system import BatterylessSystem
+from repro.units import microfarads, millifarads
+from repro.workloads.data_encryption import DataEncryption
+from repro.workloads.sense_compute import SenseAndCompute
+
+
+class TestBatterylessSystem:
+    def test_build_and_reset(self, steady_trace):
+        system = BatterylessSystem.build(
+            steady_trace, StaticBuffer(millifarads(1.0)), DataEncryption()
+        )
+        system.buffer.harvest(1e-3, 1.0)
+        system.reset()
+        assert system.buffer.stored_energy == 0.0
+
+    def test_gate_buffer_compatibility_checked(self, steady_trace):
+        with pytest.raises(ConfigurationError):
+            BatterylessSystem.build(
+                steady_trace,
+                StaticBuffer(millifarads(1.0), max_voltage=3.0),
+                DataEncryption(),
+                gate=PowerGate(enable_voltage=3.3, brownout_voltage=1.8),
+            )
+
+
+class TestSimulator:
+    def test_steady_power_runs_the_system(self, steady_trace, simulator_factory):
+        result = simulator_factory(
+            steady_trace, StaticBuffer(millifarads(1.0)), DataEncryption()
+        ).run()
+        assert result.started
+        assert result.work_units > 0.0
+        assert result.on_time > 0.0
+        assert result.enable_count >= 1
+
+    def test_weak_power_never_starts_large_buffer(self, weak_trace, simulator_factory):
+        result = simulator_factory(
+            weak_trace, StaticBuffer(millifarads(17.0)), DataEncryption()
+        ).run()
+        assert not result.started
+        assert result.work_units == 0.0
+        assert result.latency is None
+
+    def test_latency_is_time_of_first_enable(self, steady_trace, simulator_factory):
+        result = simulator_factory(
+            steady_trace, StaticBuffer(millifarads(1.0)), DataEncryption()
+        ).run()
+        # 1 mF to 3.3 V needs ~5.4 mJ at 5 mW -> just over a second.
+        assert 0.5 < result.latency < 3.0
+
+    def test_drain_phase_extends_beyond_trace(self, steady_trace, simulator_factory):
+        result = simulator_factory(
+            steady_trace, StaticBuffer(millifarads(10.0)), DataEncryption()
+        ).run()
+        assert result.simulated_time > steady_trace.duration
+
+    def test_drain_phase_can_be_disabled(self, steady_trace, simulator_factory):
+        result = simulator_factory(
+            steady_trace,
+            StaticBuffer(millifarads(10.0)),
+            DataEncryption(),
+            drain_after_trace=False,
+        ).run()
+        assert result.simulated_time == pytest.approx(steady_trace.duration, abs=1.0)
+
+    def test_energy_conservation_for_static_buffer(self, short_rf_trace, simulator_factory):
+        buffer = StaticBuffer(millifarads(1.0))
+        result = simulator_factory(short_rf_trace, buffer, SenseAndCompute()).run()
+        ledger = result.buffer_ledger
+        balance = ledger["stored"] - ledger["delivered"] - ledger["leaked"]
+        assert buffer.stored_energy == pytest.approx(balance, rel=1e-6, abs=1e-9)
+        assert ledger["offered"] == pytest.approx(
+            ledger["stored"] + ledger["clipped"], rel=1e-9, abs=1e-12
+        )
+
+    def test_react_runs_end_to_end(self, short_rf_trace, simulator_factory):
+        result = simulator_factory(short_rf_trace, ReactBuffer(), SenseAndCompute()).run()
+        assert result.started
+        assert result.work_units > 0.0
+
+    def test_recorder_collects_timeline(self, steady_trace, simulator_factory):
+        recorder = Recorder(record_period=0.5)
+        simulator_factory(
+            steady_trace,
+            StaticBuffer(millifarads(1.0)),
+            DataEncryption(),
+            recorder=recorder,
+        ).run()
+        arrays = recorder.as_arrays()
+        assert len(arrays["time"]) > 10
+        assert arrays["voltage"].max() <= 3.6 + 1e-6
+        assert recorder.on_intervals()
+
+    def test_invalid_timestep_configuration(self, steady_trace):
+        system = BatterylessSystem.build(
+            steady_trace, StaticBuffer(millifarads(1.0)), DataEncryption()
+        )
+        with pytest.raises(SimulationError):
+            Simulator(system, dt_on=0.0)
+        with pytest.raises(SimulationError):
+            Simulator(system, dt_on=0.1, dt_off=0.01)
+
+    def test_max_steps_guard(self, steady_trace):
+        system = BatterylessSystem.build(
+            steady_trace, StaticBuffer(millifarads(1.0)), DataEncryption()
+        )
+        with pytest.raises(SimulationError):
+            Simulator(system, max_steps=5).run()
+
+
+class TestRecorder:
+    def test_decimation(self):
+        recorder = Recorder(record_period=1.0)
+        for step in range(100):
+            recorder.maybe_record(
+                time=step * 0.1,
+                voltage=2.0,
+                system_on=True,
+                capacitance=1e-3,
+                stored_energy=1e-3,
+                harvested_power=1e-3,
+            )
+        assert len(recorder) == pytest.approx(10, abs=2)
+
+    def test_on_intervals_detects_transitions(self):
+        recorder = Recorder(record_period=0.1)
+        pattern = [False, True, True, False, True]
+        for index, on in enumerate(pattern):
+            recorder.maybe_record(index * 1.0, 2.0, on, 1e-3, 1e-3, 0.0)
+        intervals = recorder.on_intervals()
+        assert len(intervals) == 2
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            Recorder(record_period=0.0)
+
+    def test_reset(self):
+        recorder = Recorder()
+        recorder.maybe_record(0.0, 1.0, True, 1e-3, 1e-3, 0.0)
+        recorder.reset()
+        assert len(recorder) == 0
+
+
+def make_result(trace="RF Cart", buffer="REACT", workload="SC", work=10.0, latency=1.0):
+    return SimulationResult(
+        trace_name=trace,
+        buffer_name=buffer,
+        workload_name=workload,
+        simulated_time=400.0,
+        trace_duration=313.0,
+        latency=latency,
+        on_time=200.0,
+        active_time=50.0,
+        enable_count=3,
+        brownout_count=2,
+        work_units=work,
+        workload_metrics={"work_units": work},
+        buffer_ledger={"offered": 1.0, "delivered": 0.5},
+        energy_offered=1.0,
+        energy_delivered_to_load=0.5,
+    )
+
+
+class TestResultsAndMetrics:
+    def test_result_derived_properties(self):
+        result = make_result()
+        assert result.started
+        assert result.duty_cycle == pytest.approx(0.5)
+        assert result.end_to_end_efficiency == pytest.approx(0.5)
+        assert result.on_time_during_trace_fraction <= 1.0
+        row = result.as_dict()
+        assert row["buffer"] == "REACT"
+        assert row["workload_work_units"] == 10.0
+
+    def test_never_started_result(self):
+        result = make_result(latency=None, work=0.0)
+        assert not result.started
+        assert np.isnan(result.as_dict()["latency_s"])
+
+    def test_normalize_to_reference(self):
+        normalized = normalize_to_reference({"A": 5.0, "REACT": 10.0}, "REACT")
+        assert normalized == {"A": 0.5, "REACT": 1.0}
+        with pytest.raises(KeyError):
+            normalize_to_reference({"A": 1.0}, "REACT")
+
+    def test_normalize_with_zero_reference(self):
+        assert normalize_to_reference({"A": 1.0, "REACT": 0.0}, "REACT") == {
+            "A": 0.0,
+            "REACT": 0.0,
+        }
+
+    def test_aggregate_and_mean_normalized(self):
+        results = [
+            make_result(buffer="770 uF", work=5.0),
+            make_result(buffer="REACT", work=10.0),
+            make_result(trace="RF Mobile", buffer="770 uF", work=2.0),
+            make_result(trace="RF Mobile", buffer="REACT", work=4.0),
+        ]
+        pivot = aggregate_results(results)
+        assert pivot["SC"]["RF Cart"]["REACT"] == 10.0
+        summary = mean_normalized_performance(results, reference="REACT")
+        assert summary["SC"]["770 uF"] == pytest.approx(0.5)
+        assert summary["SC"]["REACT"] == pytest.approx(1.0)
+
+    def test_improvement_over(self):
+        assert improvement_over({"REACT": 1.3, "base": 1.0}, "REACT", "base") == pytest.approx(0.3)
+        with pytest.raises(KeyError):
+            improvement_over({"REACT": 1.0}, "REACT", "base")

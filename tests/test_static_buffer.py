@@ -1,0 +1,121 @@
+"""Static buffer baseline and the related-work extensions (Capybara, Dewdrop)."""
+
+import pytest
+
+from repro.buffers.capybara import CapybaraBuffer
+from repro.buffers.dewdrop import DewdropBuffer
+from repro.buffers.static import StaticBuffer
+from repro.exceptions import ConfigurationError
+from repro.units import capacitor_energy, microfarads, millifarads
+
+
+class TestStaticBuffer:
+    def test_harvest_then_draw_round_trip(self):
+        buffer = StaticBuffer(millifarads(1.0))
+        stored = buffer.harvest(1e-3, dt=1.0)
+        assert stored == pytest.approx(1e-3)
+        delivered = buffer.draw(current=1e-3, dt=0.5)
+        assert delivered > 0.0
+        assert buffer.ledger.delivered == pytest.approx(delivered)
+
+    def test_clipping_recorded(self):
+        buffer = StaticBuffer(microfarads(770.0))
+        buffer.harvest(1.0, dt=1.0)  # far beyond capacity
+        assert buffer.output_voltage == pytest.approx(3.6)
+        assert buffer.ledger.clipped > 0.0
+        assert buffer.ledger.capture_efficiency < 0.02
+
+    def test_leakage_applied_in_housekeeping(self):
+        buffer = StaticBuffer(millifarads(10.0))
+        buffer.harvest(0.05, dt=1.0)
+        before = buffer.stored_energy
+        buffer.housekeeping(time=0.0, dt=100.0, system_on=False)
+        assert buffer.stored_energy < before
+        assert buffer.ledger.leaked > 0.0
+
+    def test_usable_energy_excludes_below_brownout(self):
+        buffer = StaticBuffer(millifarads(1.0), brownout_voltage=1.8)
+        buffer.harvest(capacitor_energy(1e-3, 3.3), dt=1.0)
+        expected = capacitor_energy(1e-3, 3.3) - capacitor_energy(1e-3, 1.8)
+        assert buffer.usable_energy() == pytest.approx(expected, rel=1e-6)
+
+    def test_does_not_support_longevity(self):
+        assert StaticBuffer(millifarads(1.0)).supports_longevity is False
+
+    def test_can_reach_voltage(self):
+        buffer = StaticBuffer(millifarads(1.0))
+        assert not buffer.can_reach_voltage(3.3)
+        buffer.harvest(capacitor_energy(1e-3, 3.4), dt=1.0)
+        assert buffer.can_reach_voltage(3.3)
+
+    def test_reset(self):
+        buffer = StaticBuffer(millifarads(1.0))
+        buffer.harvest(1e-3, dt=1.0)
+        buffer.reset()
+        assert buffer.stored_energy == 0.0
+        assert buffer.ledger.offered == 0.0
+
+    def test_snapshot_keys(self):
+        snapshot = StaticBuffer(millifarads(1.0)).snapshot()
+        assert set(snapshot) >= {"voltage", "stored_energy", "capacitance"}
+
+    def test_default_name_from_capacitance(self):
+        assert StaticBuffer(microfarads(770.0)).name == "770 uF"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StaticBuffer(0.0)
+        with pytest.raises(ConfigurationError):
+            StaticBuffer(millifarads(1.0), max_voltage=1.0, brownout_voltage=1.8)
+
+
+class TestCapybaraBuffer:
+    def test_surplus_spills_into_task_capacitor(self):
+        buffer = CapybaraBuffer(
+            base_capacitance=microfarads(770.0), task_capacitance=millifarads(10.0)
+        )
+        buffer.harvest(0.02, dt=1.0)  # overfills the base capacitor
+        assert buffer.snapshot()["task_voltage"] > 0.0
+        assert buffer.stored_energy > capacitor_energy(770e-6, 3.6) * 0.99
+
+    def test_longevity_dump_transfers_task_energy(self):
+        buffer = CapybaraBuffer()
+        buffer.harvest(0.05, dt=1.0)
+        buffer.draw(current=5e-3, dt=100.0)  # drain the base capacitor
+        buffer.request_longevity(1e-3)
+        base_before = buffer.base.voltage
+        buffer.housekeeping(time=0.0, dt=0.1, system_on=True)
+        assert buffer.base.voltage > base_before
+        assert buffer.ledger.switching_loss >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CapybaraBuffer(max_voltage=1.0, brownout_voltage=1.8)
+
+
+class TestDewdropBuffer:
+    def test_required_voltage_grows_with_task_energy(self):
+        buffer = DewdropBuffer(millifarads(2.0))
+        small = buffer.required_voltage(1e-4)
+        large = buffer.required_voltage(5e-3)
+        assert large > small
+        assert small == pytest.approx(buffer.minimum_enable_voltage)
+        assert large <= buffer.max_voltage
+
+    def test_longevity_satisfied_tracks_required_voltage(self):
+        buffer = DewdropBuffer(millifarads(10.0))
+        buffer.request_longevity(2e-3)
+        assert not buffer.longevity_satisfied()
+        buffer.harvest(0.06, dt=1.0)
+        assert buffer.longevity_satisfied()
+
+    def test_no_request_is_always_satisfied(self):
+        assert DewdropBuffer(millifarads(1.0)).longevity_satisfied()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DewdropBuffer(millifarads(1.0), minimum_enable_voltage=1.0)
+
+    def test_negative_task_energy_rejected(self):
+        with pytest.raises(ValueError):
+            DewdropBuffer(millifarads(1.0)).required_voltage(-1.0)

@@ -1,0 +1,197 @@
+"""Workload state machines: DE, SC, RT, PF driven step by step."""
+
+import pytest
+
+from repro.buffers.dewdrop import DewdropBuffer
+from repro.buffers.static import StaticBuffer
+from repro.exceptions import ConfigurationError
+from repro.platform.mcu import PowerMode
+from repro.workloads.base import PowerDemand, StepContext
+from repro.workloads.data_encryption import DataEncryption
+from repro.workloads.packet_forwarding import PacketForwarding
+from repro.workloads.radio_transmit import RadioTransmit
+from repro.workloads.sense_compute import SenseAndCompute
+from repro.units import millifarads
+
+
+def full_buffer(capacitance=millifarads(10.0), voltage=3.3) -> StaticBuffer:
+    buffer = StaticBuffer(capacitance, name="test")
+    buffer.harvest(0.5 * capacitance * voltage * voltage, dt=1.0)
+    return buffer
+
+
+def drive(workload, buffer, duration, dt=0.05, system_on=True, start=0.0):
+    """Step a workload for ``duration`` simulated seconds."""
+    time = start
+    demands = []
+    while time < start + duration:
+        demands.append(
+            workload.step(StepContext(time=time, dt=dt, system_on=system_on, buffer=buffer))
+        )
+        time += dt
+    return demands
+
+
+class TestPowerDemand:
+    def test_factories(self):
+        assert PowerDemand.off().mcu_mode is PowerMode.OFF
+        assert PowerDemand.sleeping().mcu_mode is PowerMode.SLEEP
+        assert PowerDemand.deep_sleeping().mcu_mode is PowerMode.DEEP_SLEEP
+        assert PowerDemand.active(1e-3).peripheral_current == pytest.approx(1e-3)
+
+
+class TestDataEncryption:
+    def test_counts_units_while_active(self):
+        workload = DataEncryption(unit_time=0.1)
+        drive(workload, full_buffer(), duration=1.0, dt=0.05)
+        assert workload.work_units == pytest.approx(10.0, abs=1.0)
+
+    def test_always_demands_active_when_on(self):
+        workload = DataEncryption()
+        demands = drive(workload, full_buffer(), duration=0.2)
+        assert all(demand.mcu_mode is PowerMode.ACTIVE for demand in demands)
+
+    def test_no_progress_while_off(self):
+        workload = DataEncryption()
+        drive(workload, full_buffer(), duration=1.0, system_on=False)
+        assert workload.work_units == 0.0
+
+    def test_power_loss_discards_partial_batch(self):
+        workload = DataEncryption(unit_time=1.0)
+        drive(workload, full_buffer(), duration=0.5)
+        workload.on_power_loss(0.5)
+        assert workload.metrics().failed_operations == 1
+
+    def test_kernel_execution_path(self):
+        workload = DataEncryption(unit_time=0.05, execute_kernel=True)
+        drive(workload, full_buffer(), duration=0.2)
+        assert workload.work_units >= 1.0
+        assert workload.metrics().extra["self_test_passed"] == 1.0
+
+    def test_reset(self):
+        workload = DataEncryption(unit_time=0.1)
+        drive(workload, full_buffer(), duration=0.5)
+        workload.reset()
+        assert workload.work_units == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DataEncryption(unit_time=0.0)
+
+
+class TestSenseAndCompute:
+    def test_measurement_completed_after_deadline(self):
+        workload = SenseAndCompute(period=1.0, sample_time=0.05, compute_time=0.05)
+        drive(workload, full_buffer(), duration=3.0, dt=0.01)
+        assert workload.work_units >= 2.0
+
+    def test_deadlines_missed_while_off(self):
+        workload = SenseAndCompute(period=1.0)
+        drive(workload, full_buffer(), duration=5.0, dt=0.1, system_on=False)
+        assert workload.metrics().missed_events >= 4
+
+    def test_microphone_current_requested_while_sampling(self):
+        workload = SenseAndCompute(period=0.5, sample_time=0.2, compute_time=0.1)
+        demands = drive(workload, full_buffer(), duration=0.7, dt=0.05)
+        assert any(demand.peripheral_current > 0.0 for demand in demands)
+
+    def test_power_loss_aborts_measurement(self):
+        workload = SenseAndCompute(period=0.1, sample_time=0.5, compute_time=0.5)
+        drive(workload, full_buffer(), duration=0.3, dt=0.05)
+        workload.on_power_loss(0.3)
+        assert workload.metrics().failed_operations == 1
+
+    def test_kernel_produces_readings(self):
+        workload = SenseAndCompute(
+            period=0.2, sample_time=0.02, compute_time=0.02, execute_kernel=True
+        )
+        drive(workload, full_buffer(), duration=1.0, dt=0.01)
+        assert len(workload.readings) >= 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SenseAndCompute(period=0.0)
+
+
+class TestRadioTransmit:
+    def test_transmits_when_data_available(self):
+        workload = RadioTransmit(data_period=0.5, use_longevity_guarantee=False)
+        drive(workload, full_buffer(), duration=3.0, dt=0.01)
+        assert workload.work_units >= 2.0
+
+    def test_waits_in_deep_sleep_when_no_data(self):
+        workload = RadioTransmit(data_period=100.0, use_longevity_guarantee=False)
+        demands = drive(workload, full_buffer(), duration=0.5, dt=0.05)
+        assert all(demand.mcu_mode is PowerMode.DEEP_SLEEP for demand in demands)
+
+    def test_backlog_accumulates_while_off(self):
+        workload = RadioTransmit(data_period=1.0)
+        drive(workload, full_buffer(), duration=5.0, dt=0.5, system_on=False)
+        assert workload.backlog >= 4
+
+    def test_longevity_guarantee_waits_for_reserve(self):
+        buffer = DewdropBuffer(millifarads(10.0))  # supports longevity, starts empty
+        workload = RadioTransmit(data_period=0.1, use_longevity_guarantee=True)
+        demands = drive(workload, buffer, duration=0.5, dt=0.05)
+        assert workload.work_units == 0.0
+        assert any(demand.mcu_mode is PowerMode.DEEP_SLEEP for demand in demands)
+        assert buffer.longevity_request > 0.0
+
+    def test_power_loss_mid_transmission_counts_failure(self):
+        workload = RadioTransmit(data_period=0.1, use_longevity_guarantee=False)
+        drive(workload, full_buffer(), duration=0.1, dt=0.01)
+        workload.on_power_loss(0.1)
+        assert workload.metrics().failed_operations >= 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RadioTransmit(data_period=0.0)
+        with pytest.raises(ConfigurationError):
+            RadioTransmit(energy_margin=0.5)
+
+
+class TestPacketForwarding:
+    def test_receives_and_forwards(self):
+        workload = PacketForwarding(
+            mean_interarrival=0.5, use_longevity_guarantee=False, seed=4
+        )
+        drive(workload, full_buffer(), duration=10.0, dt=0.01)
+        assert workload.packets_received >= 5
+        assert workload.packets_forwarded >= 3
+
+    def test_packets_missed_while_off(self):
+        workload = PacketForwarding(mean_interarrival=0.5, seed=4)
+        drive(workload, full_buffer(), duration=10.0, dt=0.1, system_on=False)
+        assert workload.metrics().missed_events >= 5
+
+    def test_packets_missed_when_energy_too_low(self):
+        buffer = StaticBuffer(millifarads(1.0))  # empty: cannot afford a receive
+        workload = PacketForwarding(mean_interarrival=0.5, seed=4)
+        drive(workload, buffer, duration=5.0, dt=0.05)
+        assert workload.packets_received == 0
+        assert workload.metrics().missed_events >= 3
+
+    def test_listens_in_deep_sleep_between_packets(self):
+        workload = PacketForwarding(mean_interarrival=1000.0, seed=4)
+        demands = drive(workload, full_buffer(), duration=0.5, dt=0.05)
+        assert all(demand.mcu_mode is PowerMode.DEEP_SLEEP for demand in demands)
+        assert all(
+            demand.peripheral_current == pytest.approx(workload.listen_current)
+            for demand in demands
+        )
+
+    def test_power_loss_keeps_queued_packet(self):
+        workload = PacketForwarding(
+            mean_interarrival=0.2, use_longevity_guarantee=False, seed=4
+        )
+        drive(workload, full_buffer(), duration=0.5, dt=0.01)
+        before = workload.packets_forwarded
+        workload.on_power_loss(0.5)
+        drive(workload, full_buffer(), duration=3.0, dt=0.01, start=0.5)
+        assert workload.packets_forwarded >= before
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PacketForwarding(mean_interarrival=0.0)
+        with pytest.raises(ConfigurationError):
+            PacketForwarding(queue_limit=0)
