@@ -1,0 +1,76 @@
+"""Benchmark for the evaluation-sweep machinery itself.
+
+Times the quick-mode grid sweep three ways — step-by-step serial (the
+seed's execution model), fast-path serial, and fast-path with a 4-worker
+process pool — and records the throughput ratios in the benchmark JSON so
+the perf trajectory tracks sweep speed alongside the per-artifact numbers.
+
+Correctness assertions, not timing assertions, gate the test: the parallel
+grid must return the same results in the same order as the serial grid,
+and the fast-path engine must agree with the step-by-step engine on the
+headline counters.  (Timing ratios depend on the host's core count — on a
+single-core CI runner the worker pool cannot win — so they are recorded,
+not asserted.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from benchmarks.conftest import run_once
+from repro.experiments.parallel import ParallelExperimentRunner
+from repro.experiments.runner import ExperimentRunner, ExperimentSettings
+
+#: A representative slice of the grid: every buffer and every trace, two
+#: workloads (one throughput-style, one reactivity-style).  Small enough to
+#: run three times inside the benchmark budget.
+SWEEP_WORKLOADS = ("DE", "SC")
+
+
+def test_bench_grid_sweep_serial_vs_parallel(benchmark, bench_settings):
+    serial_runner = ExperimentRunner(bench_settings)
+    parallel_runner = ParallelExperimentRunner(bench_settings, workers=4)
+    step_by_step_runner = ExperimentRunner(
+        dataclasses.replace(bench_settings, fast_forward=False)
+    )
+
+    started = time.perf_counter()
+    step_by_step = step_by_step_runner.run_grid(workloads=SWEEP_WORKLOADS)
+    step_by_step_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    serial = run_once(benchmark, serial_runner.run_grid, workloads=SWEEP_WORKLOADS)
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = parallel_runner.run_grid(workloads=SWEEP_WORKLOADS)
+    parallel_seconds = time.perf_counter() - started
+
+    # The parallel runner must reproduce the serial grid exactly, in order.
+    assert len(parallel) == len(serial)
+    for serial_result, parallel_result in zip(serial, parallel):
+        assert parallel_result.trace_name == serial_result.trace_name
+        assert parallel_result.buffer_name == serial_result.buffer_name
+        assert parallel_result.workload_name == serial_result.workload_name
+        assert parallel_result.work_units == serial_result.work_units
+        assert parallel_result.enable_count == serial_result.enable_count
+        assert parallel_result.brownout_count == serial_result.brownout_count
+        assert parallel_result.latency == serial_result.latency
+
+    # The fast-path engine must agree with step-by-step execution.
+    for reference, fast in zip(step_by_step, serial):
+        assert fast.work_units == reference.work_units
+        assert fast.enable_count == reference.enable_count
+        assert fast.brownout_count == reference.brownout_count
+
+    benchmark.extra_info["grid_cells"] = len(serial)
+    benchmark.extra_info["step_by_step_serial_seconds"] = round(step_by_step_seconds, 3)
+    benchmark.extra_info["fast_path_serial_seconds"] = round(serial_seconds, 3)
+    benchmark.extra_info["parallel_workers4_seconds"] = round(parallel_seconds, 3)
+    benchmark.extra_info["fast_path_speedup"] = round(
+        step_by_step_seconds / serial_seconds, 3
+    )
+    benchmark.extra_info["parallel_speedup_vs_fast_serial"] = round(
+        serial_seconds / parallel_seconds, 3
+    )

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 
 @dataclass
@@ -123,6 +123,102 @@ class EnergyBuffer(ABC):
     def overhead_current(self, system_on: bool) -> float:
         """Extra load current the buffer's own circuitry adds (amperes)."""
         return 0.0
+
+    # -- off-phase fast forwarding --------------------------------------------
+
+    def can_fast_forward(self) -> bool:
+        """Whether the simulator may batch off-phase steps through this buffer.
+
+        While the power gate is disconnected the simulator's per-step work
+        reduces to ``harvest`` / ``draw`` / ``housekeeping`` with a constant
+        harvest power (the trace is zero-order-hold) and the gate's
+        quiescent load.  :meth:`fast_forward` replays exactly that call
+        sequence without the engine's per-step dispatch, so it is exact by
+        construction for any buffer implemented through those three hooks.
+
+        Subclasses must override this to return False if their ``harvest``
+        can raise the output voltage beyond the
+        :meth:`post_harvest_voltage_bound` contract (e.g. by triggering a
+        reconfiguration), since the simulator relies on that bound to stop
+        fast-forwarding before the power gate would engage.
+        """
+        return True
+
+    def post_harvest_voltage_bound(self, energy: float) -> float:
+        """Upper bound on the output voltage right after absorbing ``energy``.
+
+        Used by the simulator to (a) stop the off-phase fast path before a
+        harvest step could lift the output to the gate's enable voltage and
+        (b) drop to the fine on-phase timestep for the step on which the
+        gate engages.  The contract: the returned value must be ≥ the true
+        post-harvest output voltage; being loose only costs a few extra
+        fine-grained steps near the threshold, while being tight risks the
+        fast path skipping over an enable transition.  The default assumes
+        the whole energy lands on the *present output capacitance* — exact
+        for a single capacitor, conservative for designs that split or
+        attenuate the inflow, but **an underestimate** for designs whose
+        harvest can charge a smaller capacitance than the reported
+        equivalent (REACT's last-level buffer is the in-tree example, and
+        overrides this accordingly).  Such designs must override.
+        """
+        if energy <= 0.0:
+            return self.output_voltage
+        voltage = self.output_voltage
+        return (voltage * voltage + 2.0 * energy / self.capacitance) ** 0.5
+
+    def fast_forward(
+        self,
+        delivered_power: float,
+        quiescent_current: float,
+        dt: float,
+        start_time: float,
+        max_steps: int,
+        stop_above: Optional[float] = None,
+        stop_below: Optional[float] = None,
+        drain_floor: Optional[float] = None,
+    ) -> Tuple[int, float]:
+        """Advance up to ``max_steps`` off-phase steps of size ``dt``.
+
+        Replays the exact per-step sequence the simulator would execute
+        while the platform is off — harvest ``delivered_power * dt``, draw
+        the gate's quiescent current plus :meth:`overhead_current`, then run
+        :meth:`housekeeping` — but in a tight loop free of the engine's
+        per-step frontend/workload/gate/recorder dispatch.
+
+        Stops early (without consuming the offending step) when the output
+        voltage reaches ``stop_above`` at a step start, or when
+        :meth:`post_harvest_voltage_bound` says the next harvest could reach
+        it.  Stops after a committed step when the voltage falls below
+        ``stop_below`` (the harvester's efficiency region changed) or when
+        ``drain_floor`` is set and the buffer can no longer restart the
+        platform (the post-trace drain termination test).
+
+        Returns ``(steps_consumed, end_time)`` where ``end_time`` is
+        ``start_time`` advanced by ``dt`` per consumed step using the same
+        additive accumulation the step-by-step engine performs, so
+        downstream time-keyed behaviour (trace sample indexing, controller
+        poll schedules) sees bit-identical timestamps.
+        """
+        energy = delivered_power * dt
+        time = start_time
+        steps = 0
+        while steps < max_steps:
+            if stop_above is not None:
+                if self.output_voltage >= stop_above:
+                    break
+                if self.post_harvest_voltage_bound(energy) >= stop_above:
+                    break
+            self.harvest(energy, dt)
+            self.draw(quiescent_current + self.overhead_current(False), dt)
+            self.housekeeping(time, dt, False)
+            time += dt
+            steps += 1
+            if stop_below is not None and self.output_voltage < stop_below:
+                break
+            if drain_floor is not None and self.output_voltage < drain_floor:
+                if not self.can_reach_voltage(drain_floor):
+                    break
+        return steps, time
 
     # -- longevity guarantees --------------------------------------------------
 

@@ -99,6 +99,25 @@ class CapybaraBuffer(EnergyBuffer):
         snapshot["task_voltage"] = self.task.voltage
         return snapshot
 
+    # -- off-phase fast forwarding ------------------------------------------------------
+
+    def post_harvest_voltage_bound(self, energy: float) -> float:
+        """Exact bound: harvest charges the base capacitor first.
+
+        Surplus only spills to the task capacitor once the base capacitor
+        is at its rated voltage, so the all-onto-base case (which is what
+        the base-class default computes, since ``capacitance`` reports the
+        base capacitor) is the true post-harvest output voltage up to the
+        overvoltage clamp.  Capybara otherwise relies on the conservative
+        generic fast path: the task-capacitor dump in housekeeping depends
+        only on state that is frozen while the platform is off, so the
+        step-replaying fallback reproduces it exactly.
+        """
+        if energy <= 0.0:
+            return self.base.voltage
+        new_energy = min(self.base.energy + energy, self.base.max_energy)
+        return (2.0 * new_energy / self.base.capacitance) ** 0.5
+
     # -- energy flow -----------------------------------------------------------------------
 
     def harvest(self, energy: float, dt: float) -> float:

@@ -48,6 +48,11 @@ class DewdropBuffer(StaticBuffer):
             )
         self.minimum_enable_voltage = minimum_enable_voltage
 
+    # Off-phase fast forwarding: Dewdrop is electrically a plain static
+    # capacitor (the adaptation lives entirely in the longevity API, which
+    # only software on a *powered* platform exercises), so the exact
+    # inlined fast path inherited from :class:`StaticBuffer` applies as-is.
+
     def required_voltage(self, task_energy: float) -> float:
         """Voltage the capacitor must reach before a task of ``task_energy`` starts."""
         if task_energy < 0.0:

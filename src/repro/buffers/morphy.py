@@ -219,6 +219,36 @@ class MorphyBuffer(EnergyBuffer):
         self.level = 0
         self._next_poll_time = 0.0
         self.reconfiguration_count = 0
+        self._build_topology_cache()
+
+    def _build_topology_cache(self) -> None:
+        """Precompute per-level topology so hot-path steps avoid rebuilding it.
+
+        The configuration table is immutable after construction, but the
+        seed implementation re-derived group membership and equivalent
+        capacitance from it on every ``output_voltage``/``harvest``/``draw``
+        call — about a dozen list constructions per simulation step, which
+        profiling showed dominated Morphy's simulation cost.
+        """
+        unit = self.table.unit_capacitance
+        self._level_groups: List[Tuple[Tuple[int, ...], ...]] = []
+        self._level_across: List[Tuple[int, ...]] = []
+        self._level_firsts: List[Tuple[int, ...]] = []
+        self._level_chain_capacitance: List[float] = []
+        self._level_capacitance: List[float] = []
+        for level in range(self.table.max_level + 1):
+            config = self.table.configuration(level)
+            groups: List[Tuple[int, ...]] = []
+            index = 0
+            for size in config.groups:
+                groups.append(tuple(range(index, index + size)))
+                index += size
+            across = tuple(range(index, index + config.across))
+            self._level_groups.append(tuple(groups))
+            self._level_across.append(across)
+            self._level_firsts.append(tuple(group[0] for group in groups))
+            self._level_chain_capacitance.append(config.chain_capacitance(unit))
+            self._level_capacitance.append(config.equivalent_capacitance(unit))
 
     # -- topology helpers ------------------------------------------------------------
 
@@ -255,8 +285,8 @@ class MorphyBuffer(EnergyBuffer):
 
     @property
     def output_voltage(self) -> float:
-        groups, _, _ = self._membership(self.configuration)
-        return sum(self._voltages[group[0]] for group in groups)
+        voltages = self._voltages
+        return sum(voltages[first] for first in self._level_firsts[self.level])
 
     @property
     def stored_energy(self) -> float:
@@ -266,7 +296,7 @@ class MorphyBuffer(EnergyBuffer):
 
     @property
     def capacitance(self) -> float:
-        return self.table.equivalent_capacitance(self.level)
+        return self._level_capacitance[self.level]
 
     @property
     def max_capacitance(self) -> float:
@@ -295,6 +325,28 @@ class MorphyBuffer(EnergyBuffer):
         snapshot["configuration_level"] = float(self.level)
         return snapshot
 
+    # -- off-phase fast forwarding ----------------------------------------------------
+
+    def post_harvest_voltage_bound(self, energy: float) -> float:
+        """Exact post-harvest output voltage for the active configuration.
+
+        Charging through the output terminals cannot reconfigure the array
+        (only the 10 Hz controller poll in housekeeping does, and the
+        conservative generic fast path re-checks the output voltage after
+        every housekeeping call), so the harvest formula itself is the
+        bound.
+        """
+        if energy <= 0.0:
+            return self.output_voltage
+        voltage = self.output_voltage
+        usable = energy * self.network_efficiency
+        capacitance = self.capacitance
+        headroom = capacitor_energy(capacitance, self.max_voltage) - capacitor_energy(
+            capacitance, voltage
+        )
+        stored = min(usable, max(0.0, headroom))
+        return (voltage * voltage + 2.0 * stored / capacitance) ** 0.5
+
     # -- energy flow -----------------------------------------------------------------------
 
     def harvest(self, energy: float, dt: float) -> float:
@@ -303,15 +355,16 @@ class MorphyBuffer(EnergyBuffer):
             return 0.0
         usable_input = energy * self.network_efficiency
         self.ledger.switching_loss += energy - usable_input
-        headroom = capacitor_energy(self.capacitance, self.max_voltage) - capacitor_energy(
-            self.capacitance, self.output_voltage
+        capacitance = self._level_capacitance[self.level]
+        voltage = self.output_voltage
+        headroom = (
+            0.5 * capacitance * self.max_voltage * self.max_voltage
+            - 0.5 * capacitance * voltage * voltage
         )
         stored = min(usable_input, max(0.0, headroom))
         if stored > 0.0:
-            new_output = (
-                self.output_voltage**2 + 2.0 * stored / self.capacitance
-            ) ** 0.5
-            self._set_output_voltage(new_output)
+            new_output = (voltage**2 + 2.0 * stored / capacitance) ** 0.5
+            self._shift_output_voltage(new_output - voltage)
         self.ledger.stored += stored
         self.ledger.clipped += usable_input - stored
         return stored
@@ -322,12 +375,14 @@ class MorphyBuffer(EnergyBuffer):
         # The load current crosses the switch fabric, so slightly more charge
         # leaves the capacitors than reaches the platform.
         charge = current * dt / self.network_efficiency
-        available_charge = self.capacitance * self.output_voltage
+        capacitance = self._level_capacitance[self.level]
+        voltage = self.output_voltage
+        available_charge = capacitance * voltage
         charge = min(charge, available_charge)
-        before = capacitor_energy(self.capacitance, self.output_voltage)
-        new_output = (available_charge - charge) / self.capacitance
-        self._set_output_voltage(new_output)
-        removed = before - capacitor_energy(self.capacitance, new_output)
+        before = 0.5 * capacitance * voltage * voltage
+        new_output = (available_charge - charge) / capacitance
+        self._shift_output_voltage(new_output - voltage)
+        removed = before - 0.5 * capacitance * new_output * new_output
         delivered = removed * self.network_efficiency
         self.ledger.switching_loss += removed - delivered
         self.ledger.delivered += delivered
@@ -419,41 +474,61 @@ class MorphyBuffer(EnergyBuffer):
     # -- internals -----------------------------------------------------------------------------------
 
     def _set_output_voltage(self, new_output: float) -> None:
-        """Charge or discharge the network at its output terminals.
+        """Charge or discharge the network at its output terminals."""
+        self._shift_output_voltage(max(0.0, new_output) - self.output_voltage)
+
+    def _shift_output_voltage(self, delta_v: float) -> None:
+        """Move the output voltage by ``delta_v`` through the output terminals.
 
         The charge moving through the output splits between the chain and
         the across capacitors in proportion to capacitance; every group in
         the chain carries the full chain share, so unequal group sizes make
         the cell voltages diverge (the seed of the reconfiguration loss).
         """
-        new_output = max(0.0, new_output)
-        delta_v = new_output - self.output_voltage
         if delta_v == 0.0:
             return
-        config = self.configuration
-        groups, across, _ = self._membership(config)
-        unit = self.unit_capacitance
-        total = self.capacitance
+        level = self.level
+        voltages = self._voltages
+        unit = self.table.unit_capacitance
+        total = self._level_capacitance[level]
         charge = delta_v * total
-        chain_charge = charge * (config.chain_capacitance(unit) / total)
-        for group in groups:
+        chain_charge = charge * (self._level_chain_capacitance[level] / total)
+        for group in self._level_groups[level]:
             delta = chain_charge / (len(group) * unit)
             for i in group:
-                self._voltages[i] = max(0.0, self._voltages[i] + delta)
-        for i in across:
-            self._voltages[i] = max(0.0, self._voltages[i] + delta_v)
+                voltages[i] = max(0.0, voltages[i] + delta)
+        for i in self._level_across[level]:
+            voltages[i] = max(0.0, voltages[i] + delta_v)
 
     def _apply_leakage(self, dt: float) -> float:
         leaked = 0.0
-        for index, voltage in enumerate(self._voltages):
+        voltages = self._voltages
+        unit = self.table.unit_capacitance
+        leakage = self.leakage
+        if type(leakage) is VoltageProportionalLeakage:
+            # Inlined hot path: one leakage evaluation per cell per step.
+            # Exact-type check (not isinstance): a subclass overriding
+            # current()/charge_lost() must go through the generic branch.
+            rated_current = leakage.rated_current
+            rated_voltage = leakage.rated_voltage
+            for index, voltage in enumerate(voltages):
+                if voltage <= 0.0:
+                    continue
+                lost_charge = rated_current * (voltage / rated_voltage) * dt
+                new_voltage = max(0.0, voltage - lost_charge / unit)
+                leaked += (
+                    0.5 * unit * voltage * voltage
+                    - 0.5 * unit * new_voltage * new_voltage
+                )
+                voltages[index] = new_voltage
+            return leaked
+        for index, voltage in enumerate(voltages):
             if voltage <= 0.0:
                 continue
-            lost_charge = self.leakage.charge_lost(voltage, dt)
-            new_voltage = max(0.0, voltage - lost_charge / self.unit_capacitance)
-            leaked += capacitor_energy(self.unit_capacitance, voltage) - capacitor_energy(
-                self.unit_capacitance, new_voltage
-            )
-            self._voltages[index] = new_voltage
+            lost_charge = leakage.charge_lost(voltage, dt)
+            new_voltage = max(0.0, voltage - lost_charge / unit)
+            leaked += capacitor_energy(unit, voltage) - capacitor_energy(unit, new_voltage)
+            voltages[index] = new_voltage
         return leaked
 
     # -- lifecycle ---------------------------------------------------------------------------------------

@@ -33,11 +33,24 @@ class ReactBuffer(EnergyBuffer):
         self.config = config or table1_config()
         self.hardware = ReactHardware(self.config)
         self.controller = ReactController(self.hardware, self.config)
+        self._software_overhead_current = 0.0
         self.name = name
         self.active_current_hint = active_current_hint
         self._leak_baseline = 0.0
         self._transfer_baseline = 0.0
         self._clip_baseline = 0.0
+
+    @property
+    def active_current_hint(self) -> float:
+        """MCU active current the polling-overhead model assumes."""
+        return self._active_current_hint
+
+    @active_current_hint.setter
+    def active_current_hint(self, value: float) -> None:
+        self._active_current_hint = value
+        # The polling overhead for a fixed hint is a constant that the
+        # simulator asks for every step; cache it alongside the hint.
+        self._software_overhead_current = self.controller.software_overhead_current(value)
 
     # -- telemetry ----------------------------------------------------------------
 
@@ -84,6 +97,26 @@ class ReactBuffer(EnergyBuffer):
         snapshot["connected_banks"] = float(len(self.hardware.connected_banks))
         return snapshot
 
+    # -- off-phase fast forwarding --------------------------------------------------
+
+    def post_harvest_voltage_bound(self, energy: float) -> float:
+        """Upper bound: all harvested energy lands on the last-level buffer.
+
+        The input diodes steer charge to the *lowest*-voltage element, so
+        routing any of it to a bank instead of the last-level buffer can
+        only reduce the post-harvest output voltage; the all-to-last-level
+        case is therefore a true bound.  (Replenishment can also lift the
+        output, but it runs in housekeeping, after which the conservative
+        generic fast path re-checks the output voltage.)  The base-class
+        default would use the *equivalent* capacitance, which understates
+        the voltage rise when banks are connected — hence this override.
+        """
+        if energy <= 0.0:
+            return self.output_voltage
+        voltage = self.hardware.output_voltage
+        capacitance = self.hardware.last_level.capacitance
+        return (voltage * voltage + 2.0 * energy / capacitance) ** 0.5
+
     # -- energy flow ----------------------------------------------------------------
 
     def harvest(self, energy: float, dt: float) -> float:
@@ -125,14 +158,17 @@ class ReactBuffer(EnergyBuffer):
 
     def overhead_current(self, system_on: bool) -> float:
         """REACT's own power cost, expressed as a current on the buffer."""
-        voltage = max(self.output_voltage, self.config.brownout_voltage)
-        hardware_current = self.controller.hardware_overhead_power() / voltage
+        voltage = max(self.hardware.output_voltage, self.config.brownout_voltage)
+        # Inlined ReactController.hardware_overhead_power (hot path: the
+        # simulator evaluates the overhead every step).
+        hardware_power = (
+            self.config.instrumentation_power
+            + len(self.hardware.connected_banks) * self.config.per_bank_overhead_power
+        )
+        hardware_current = hardware_power / voltage
         if not system_on:
             return hardware_current
-        software_current = self.controller.software_overhead_current(
-            self.active_current_hint
-        )
-        return hardware_current + software_current
+        return hardware_current + self._software_overhead_current
 
     # -- longevity guarantees -----------------------------------------------------------
 

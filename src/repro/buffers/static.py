@@ -9,6 +9,8 @@ late and loses more cold-start energy to leakage.
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.buffers.base import EnergyBuffer
 from repro.capacitors.capacitor import Capacitor
 from repro.capacitors.leakage import LeakageModel, VoltageProportionalLeakage
@@ -114,6 +116,98 @@ class StaticBuffer(EnergyBuffer):
 
     def housekeeping(self, time: float, dt: float, system_on: bool) -> None:
         self.ledger.leaked += self._capacitor.apply_leakage(dt)
+
+    # -- off-phase fast forwarding ---------------------------------------------------
+
+    def post_harvest_voltage_bound(self, energy: float) -> float:
+        """Exact post-harvest voltage: all harvested energy lands on the cap."""
+        if energy <= 0.0:
+            return self._capacitor.voltage
+        capacitance = self._capacitor.capacitance
+        new_energy = min(self._capacitor.energy + energy, self._capacitor.max_energy)
+        return (2.0 * new_energy / capacitance) ** 0.5
+
+    def fast_forward(
+        self,
+        delivered_power: float,
+        quiescent_current: float,
+        dt: float,
+        start_time: float,
+        max_steps: int,
+        stop_above: Optional[float] = None,
+        stop_below: Optional[float] = None,
+        drain_floor: Optional[float] = None,
+    ) -> Tuple[int, float]:
+        """Exact inlined off-phase replay for a single buffer capacitor.
+
+        Performs the same harvest → draw → leak update per step as the
+        step-by-step path (identical expressions, identical operation
+        order, so the trajectory is bit-equal), but on local floats with
+        the ledger totals accumulated once at the end.  A single static
+        capacitor has no controllers to poll, so the whole off interval
+        reduces to this three-operation recurrence.
+        """
+        cap = self._capacitor
+        capacitance = cap.capacitance
+        max_energy = cap.max_energy
+        leakage_charge_lost = cap.leakage.charge_lost
+        overhead = self.overhead_current(False)
+        load_current = quiescent_current + overhead
+        energy_in = delivered_power * dt
+        charge = cap._charge
+        time = start_time
+        steps = 0
+        offered = stored_total = clipped_total = 0.0
+        delivered_total = leaked_total = 0.0
+        while steps < max_steps:
+            voltage = charge / capacitance
+            energy = 0.5 * capacitance * voltage * voltage
+            # Harvest (energy-domain charging, clipped at the rated voltage).
+            new_energy = energy
+            if energy_in > 0.0:
+                new_energy = min(energy + energy_in, max_energy)
+                post_charge = capacitance * (2.0 * new_energy / capacitance) ** 0.5
+                if stop_above is not None and post_charge / capacitance >= stop_above:
+                    break  # the gate would engage on this step: leave it to the engine
+                charge = post_charge
+                stored_total += new_energy - energy
+                clipped_total += energy_in - (new_energy - energy)
+                offered += energy_in
+            elif stop_above is not None and voltage >= stop_above:
+                break
+            else:
+                offered += energy_in
+            # Load draw (charge domain, floored at zero).
+            before_energy = new_energy
+            charge = max(charge - load_current * dt, 0.0)
+            voltage = charge / capacitance
+            after_energy = 0.5 * capacitance * voltage * voltage
+            delivered_total += before_energy - after_energy
+            # Leakage (through the model's charge_lost hook, so custom
+            # LeakageModel subclasses stay equivalent to the stepped path).
+            lost_charge = leakage_charge_lost(voltage, dt)
+            if lost_charge > charge:
+                lost_charge = charge
+            charge -= lost_charge
+            voltage = charge / capacitance
+            leaked_total += after_energy - 0.5 * capacitance * voltage * voltage
+            time += dt
+            steps += 1
+            if stop_below is not None and voltage < stop_below:
+                break
+            if drain_floor is not None and voltage < drain_floor:
+                break  # all stored energy sits on the output cap: cannot restart
+        cap._charge = charge
+        cap.ledger.absorbed += stored_total
+        cap.ledger.clipped += clipped_total
+        cap.ledger.delivered += delivered_total
+        cap.ledger.leaked += leaked_total
+        self.ledger.offered += offered
+        self.ledger.stored += stored_total
+        self.ledger.clipped += clipped_total
+        self.ledger.delivered += delivered_total
+        self.ledger.leaked += leaked_total
+        return steps, time
 
     # -- lifecycle ----------------------------------------------------------------------
 

@@ -146,10 +146,19 @@ class Capacitor:
             raise ValueError(f"energy must be non-negative, got {energy}")
         if energy == 0.0:
             return 0.0
-        new_energy = min(self.energy + energy, self.max_energy)
-        stored = new_energy - self.energy
+        # Inlined self.energy / self.max_energy (hot path: once per
+        # simulation step for every capacitor behind the harvester).
+        capacitance = self.capacitance
+        voltage = self._charge / capacitance
+        present = 0.5 * capacitance * voltage * voltage
+        rated = self.rated_voltage
+        max_energy = 0.5 * capacitance * rated * rated
+        new_energy = present + energy
+        if new_energy > max_energy:
+            new_energy = max_energy
+        stored = new_energy - present
         clipped = energy - stored
-        self._charge = self.capacitance * (2.0 * new_energy / self.capacitance) ** 0.5
+        self._charge = capacitance * (2.0 * new_energy / capacitance) ** 0.5
         self.ledger.absorbed += stored
         self.ledger.clipped += clipped
         return stored
@@ -181,11 +190,15 @@ class Capacitor:
         """
         if current < 0.0:
             raise ValueError(f"current must be non-negative, got {current}")
-        floor_charge = self.capacitance * max(v_floor, 0.0)
-        before_energy = self.energy
+        # Inlined self.energy lookups (hot path: once per simulation step).
+        capacitance = self.capacitance
+        floor_charge = capacitance * max(v_floor, 0.0)
+        voltage = self._charge / capacitance
+        before_energy = 0.5 * capacitance * voltage * voltage
         new_charge = max(self._charge - current * dt, floor_charge)
         self._charge = new_charge
-        delivered = before_energy - self.energy
+        voltage = new_charge / capacitance
+        delivered = before_energy - 0.5 * capacitance * voltage * voltage
         self.ledger.delivered += delivered
         return delivered
 
@@ -208,10 +221,16 @@ class Capacitor:
         """Apply self-discharge over ``dt`` seconds; returns energy lost."""
         if dt < 0.0:
             raise ValueError(f"dt must be non-negative, got {dt}")
-        lost_charge = min(self.leakage.charge_lost(self.voltage, dt), self._charge)
-        before_energy = self.energy
-        self._charge -= lost_charge
-        leaked = before_energy - self.energy
+        # Inlined self.voltage / self.energy (hot path: once per step).
+        capacitance = self.capacitance
+        charge = self._charge
+        voltage = charge / capacitance
+        lost_charge = min(self.leakage.charge_lost(voltage, dt), charge)
+        before_energy = 0.5 * capacitance * voltage * voltage
+        charge -= lost_charge
+        self._charge = charge
+        voltage = charge / capacitance
+        leaked = before_energy - 0.5 * capacitance * voltage * voltage
         self.ledger.leaked += leaked
         return leaked
 

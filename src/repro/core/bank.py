@@ -58,6 +58,13 @@ class CapacitorBank:
         if self.rated_cell_voltage <= 0.0:
             raise ConfigurationError("rated cell voltage must be positive")
         self.switch = DpdtSwitch(name=f"{self.name}.dpdt")
+        #: Optional observer invoked after every state change; the hardware
+        #: fabric uses it to invalidate its cached connected-bank topology.
+        self.on_topology_change = None
+
+    def _notify_topology_change(self) -> None:
+        if self.on_topology_change is not None:
+            self.on_topology_change()
 
     # -- electrical state ----------------------------------------------------------
 
@@ -125,6 +132,7 @@ class CapacitorBank:
         self.state = BankState.SERIES
         self.reconfiguration_count += 1
         self.switch.set_state(SwitchState.POSITION_A)
+        self._notify_topology_change()
 
     def to_parallel(self) -> None:
         """Reconfigure a series bank to parallel (capacity expansion)."""
@@ -135,6 +143,7 @@ class CapacitorBank:
         self.state = BankState.PARALLEL
         self.reconfiguration_count += 1
         self.switch.set_state(SwitchState.POSITION_B)
+        self._notify_topology_change()
 
     def to_series(self) -> None:
         """Reconfigure a parallel bank to series (charge reclamation, §3.3.4)."""
@@ -145,6 +154,7 @@ class CapacitorBank:
         self.state = BankState.SERIES
         self.reconfiguration_count += 1
         self.switch.set_state(SwitchState.POSITION_A)
+        self._notify_topology_change()
 
     def disconnect(self) -> None:
         """Disconnect the bank from the fabric (its cells keep their charge)."""
@@ -153,6 +163,7 @@ class CapacitorBank:
         self.state = BankState.DISCONNECTED
         self.reconfiguration_count += 1
         self.switch.set_state(SwitchState.OPEN)
+        self._notify_topology_change()
 
     def step_up(self) -> BankState:
         """Advance one step toward maximum capacitance; returns the new state."""
@@ -194,17 +205,29 @@ class CapacitorBank:
         """
         if energy < 0.0:
             raise ValueError(f"energy must be non-negative, got {energy}")
-        if self.state is BankState.DISCONNECTED or energy == 0.0:
+        state = self.state
+        if state is BankState.DISCONNECTED or energy == 0.0:
             return 0.0
-        clamp_output = min(max_output_voltage, self.max_output_voltage)
-        max_energy = self.energy_at_output_voltage(clamp_output)
-        stored = min(energy, max(0.0, max_energy - self.stored_energy))
+        # Inlined max_output_voltage / energy_at_output_voltage /
+        # stored_energy (this runs for every harvesting step).
+        count = self.spec.count
+        unit = self.spec.unit_capacitance
+        if state is BankState.SERIES:
+            ceiling = self.rated_cell_voltage * count
+            clamp_output = max_output_voltage if max_output_voltage < ceiling else ceiling
+            clamp_cell = clamp_output / count
+        else:
+            ceiling = self.rated_cell_voltage
+            clamp_output = max_output_voltage if max_output_voltage < ceiling else ceiling
+            clamp_cell = clamp_output
+        max_energy = count * (0.5 * unit * clamp_cell * clamp_cell)
+        voltage = self.cell_voltage
+        stored_now = count * (0.5 * unit * voltage * voltage)
+        stored = min(energy, max(0.0, max_energy - stored_now))
         if stored <= 0.0:
             return 0.0
-        new_energy = self.stored_energy + stored
-        self.cell_voltage = (
-            2.0 * new_energy / (self.count * self.unit_capacitance)
-        ) ** 0.5
+        new_energy = stored_now + stored
+        self.cell_voltage = (2.0 * new_energy / (count * unit)) ** 0.5
         return stored
 
     def set_output_voltage(self, output_voltage: float) -> None:
@@ -230,13 +253,21 @@ class CapacitorBank:
         """Self-discharge every cell over ``dt`` seconds; returns energy lost."""
         if dt < 0.0:
             raise ValueError(f"dt must be non-negative, got {dt}")
-        if self.cell_voltage <= 0.0:
+        voltage = self.cell_voltage
+        if voltage <= 0.0:
             return 0.0
-        before = self.stored_energy
-        lost_charge = self.leakage.charge_lost(self.cell_voltage, dt)
-        new_cell_charge = max(0.0, self.unit_capacitance * self.cell_voltage - lost_charge)
-        self.cell_voltage = new_cell_charge / self.unit_capacitance
-        leaked = before - self.stored_energy
+        # Inlined stored-energy expressions: this runs once per bank per
+        # simulation step, and the property chain dominated its cost.
+        count = self.spec.count
+        unit = self.spec.unit_capacitance
+        before = count * (0.5 * unit * voltage * voltage)
+        lost_charge = self.leakage.charge_lost(voltage, dt)
+        new_cell_charge = unit * voltage - lost_charge
+        if new_cell_charge < 0.0:
+            new_cell_charge = 0.0
+        new_voltage = new_cell_charge / unit
+        self.cell_voltage = new_voltage
+        leaked = before - count * (0.5 * unit * new_voltage * new_voltage)
         self.energy_leaked += leaked
         return leaked
 
@@ -246,3 +277,4 @@ class CapacitorBank:
         self.cell_voltage = 0.0
         self.reconfiguration_count = 0
         self.energy_leaked = 0.0
+        self._notify_topology_change()

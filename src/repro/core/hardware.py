@@ -25,7 +25,6 @@ from typing import List, Optional
 from repro.capacitors.capacitor import Capacitor
 from repro.capacitors.diode import IdealDiode
 from repro.capacitors.leakage import ConstantCurrentLeakage, VoltageProportionalLeakage
-from repro.capacitors.network import redistribute_charge
 from repro.core.bank import BankState, CapacitorBank
 from repro.core.config import ReactConfig
 from repro.core.reclamation import stranded_energy_with_reclamation
@@ -73,6 +72,22 @@ class ReactHardware:
         self.energy_clipped = 0.0
         self.energy_leaked = 0.0
         self.transfer_loss = 0.0
+        self._connected_cache: Optional[List[CapacitorBank]] = None
+        for bank in self.banks:
+            bank.on_topology_change = self._invalidate_topology
+        # Per-bank post-reclamation stranded energy is a pure function of the
+        # (immutable) bank geometry and the low threshold; precomputing it
+        # keeps usable_energy() — polled every step by longevity-aware
+        # workloads — off the reclamation math.
+        self._stranded_floor = {
+            id(bank): stranded_energy_with_reclamation(
+                bank.count, bank.unit_capacitance, config.low_threshold
+            )
+            for bank in self.banks
+        }
+
+    def _invalidate_topology(self) -> None:
+        self._connected_cache = None
 
     # -- telemetry -------------------------------------------------------------------
 
@@ -83,8 +98,18 @@ class ReactHardware:
 
     @property
     def connected_banks(self) -> List[CapacitorBank]:
-        """Banks currently contributing capacitance."""
-        return [bank for bank in self.banks if bank.is_connected]
+        """Banks currently contributing capacitance.
+
+        Bank connectivity only changes on (rare) controller reconfiguration
+        steps, while this list is consulted several times per simulation
+        step; the cached copy is invalidated through the banks' topology
+        observer.  Callers must not mutate the returned list.
+        """
+        cached = self._connected_cache
+        if cached is None:
+            cached = [bank for bank in self.banks if bank.is_connected]
+            self._connected_cache = cached
+        return cached
 
     @property
     def equivalent_capacitance(self) -> float:
@@ -118,11 +143,9 @@ class ReactHardware:
         """
         floor = capacitor_energy(self.last_level.capacitance, self.config.brownout_voltage)
         total = max(0.0, self.last_level.energy - floor)
+        stranded_floor = self._stranded_floor
         for bank in self.connected_banks:
-            stranded = stranded_energy_with_reclamation(
-                bank.count, bank.unit_capacitance, self.config.low_threshold
-            )
-            total += max(0.0, bank.stored_energy - stranded)
+            total += max(0.0, bank.stored_energy - stranded_floor[id(bank)])
         return total
 
     def signal(self) -> BufferSignal:
@@ -163,17 +186,34 @@ class ReactHardware:
         return stored_total
 
     def _lowest_voltage_element(self):
-        """The connected element with the lowest output voltage and headroom."""
-        candidates = []
-        if self.last_level.voltage < self.config.max_voltage - 1e-9:
-            candidates.append((self.last_level.voltage, 0, self.last_level))
-        for index, bank in enumerate(self.connected_banks, start=1):
-            if bank.output_voltage < min(self.config.max_voltage, bank.max_output_voltage) - 1e-9:
-                candidates.append((bank.output_voltage, index, bank))
-        if not candidates:
-            return None
-        candidates.sort(key=lambda item: (item[0], item[1]))
-        return candidates[0][2]
+        """The connected element with the lowest output voltage and headroom.
+
+        Single forward scan keeping the first strict minimum — equivalent
+        to sorting by (voltage, connection order) and taking the head, but
+        allocation-free, since this runs several times per simulation step.
+        """
+        max_voltage = self.config.max_voltage
+        best = None
+        best_voltage = 0.0
+        if self.last_level.voltage < max_voltage - 1e-9:
+            best = self.last_level
+            best_voltage = self.last_level.voltage
+        for bank in self.connected_banks:
+            # Inlined bank.output_voltage / bank.max_output_voltage: the
+            # scan runs for every harvesting step.
+            if bank.state is BankState.SERIES:
+                count = bank.spec.count
+                voltage = bank.cell_voltage * count
+                ceiling = bank.rated_cell_voltage * count
+            else:
+                voltage = bank.cell_voltage
+                ceiling = bank.rated_cell_voltage
+            if ceiling > max_voltage:
+                ceiling = max_voltage
+            if voltage < ceiling - 1e-9 and (best is None or voltage < best_voltage):
+                best = bank
+                best_voltage = voltage
+        return best
 
     def draw(self, current: float, dt: float) -> float:
         """Supply the load from the last-level buffer; returns energy delivered."""
@@ -188,44 +228,68 @@ class ReactHardware:
         buffer; the equalization loss is accumulated in ``transfer_loss``.
         """
         moved_total = 0.0
+        connected = self.connected_banks
+        if not connected:
+            return 0.0
+        last_level = self.last_level
+        sink_capacitance = last_level.capacitance
+        max_voltage = self.config.max_voltage
+        # This loop runs (at least) twice per simulation step and usually
+        # performs a real transfer, so the two-capacitor equalization of
+        # :func:`~repro.capacitors.network.redistribute_charge` is inlined
+        # here (same expressions, same evaluation order).
         for _ in range(len(self.banks)):
-            source = self._highest_voltage_bank()
-            if source is None:
+            source = None
+            source_voltage = 0.0
+            for bank in connected:
+                # Inlined bank.output_voltage (hot scan, twice per step).
+                if bank.state is BankState.SERIES:
+                    voltage = bank.cell_voltage * bank.spec.count
+                else:
+                    voltage = bank.cell_voltage
+                if source is None or voltage > source_voltage:
+                    source = bank
+                    source_voltage = voltage
+            sink_voltage = last_level.voltage
+            if source_voltage <= sink_voltage + 1e-9:
                 break
-            if source.output_voltage <= self.last_level.voltage + 1e-9:
-                break
-            final_voltage, dissipated = redistribute_charge(
-                source.equivalent_capacitance,
-                source.output_voltage,
-                self.last_level.capacitance,
-                self.last_level.voltage,
+            source_capacitance = source.equivalent_capacitance
+            total_capacitance = source_capacitance + sink_capacitance
+            final_voltage = (
+                source_capacitance * source_voltage + sink_capacitance * sink_voltage
+            ) / total_capacitance
+            initial_energy = (
+                0.5 * source_capacitance * source_voltage * source_voltage
+                + 0.5 * sink_capacitance * sink_voltage * sink_voltage
             )
+            dissipated = initial_energy - (
+                0.5 * total_capacitance * final_voltage * final_voltage
+            )
+            if dissipated < 0.0:
+                dissipated = 0.0
             # The overvoltage clamp still applies: a reclamation spike cannot
             # push the last-level buffer past its rated voltage.  Any energy
             # above the clamp is burned by the protection circuit.
-            if final_voltage > self.config.max_voltage:
-                before = capacitor_energy(
-                    source.equivalent_capacitance, final_voltage
-                ) + capacitor_energy(self.last_level.capacitance, final_voltage)
-                final_voltage = self.config.max_voltage
-                after = capacitor_energy(
-                    source.equivalent_capacitance, final_voltage
-                ) + capacitor_energy(self.last_level.capacitance, final_voltage)
+            if final_voltage > max_voltage:
+                before = (
+                    0.5 * source_capacitance * final_voltage * final_voltage
+                    + 0.5 * sink_capacitance * final_voltage * final_voltage
+                )
+                final_voltage = max_voltage
+                after = (
+                    0.5 * source_capacitance * final_voltage * final_voltage
+                    + 0.5 * sink_capacitance * final_voltage * final_voltage
+                )
                 self.energy_clipped += max(0.0, before - after)
-            gained = capacitor_energy(
-                self.last_level.capacitance, final_voltage
-            ) - self.last_level.energy
+            gained = (
+                0.5 * sink_capacitance * final_voltage * final_voltage
+            ) - (0.5 * sink_capacitance * sink_voltage * sink_voltage)
             source.set_output_voltage(final_voltage)
-            self.last_level.set_voltage(final_voltage)
+            last_level.set_voltage(final_voltage)
             self.transfer_loss += dissipated
-            moved_total += max(0.0, gained)
+            if gained > 0.0:
+                moved_total += gained
         return moved_total
-
-    def _highest_voltage_bank(self) -> Optional[CapacitorBank]:
-        connected = self.connected_banks
-        if not connected:
-            return None
-        return max(connected, key=lambda bank: bank.output_voltage)
 
     def apply_leakage(self, dt: float) -> float:
         """Self-discharge every capacitor in the fabric; returns energy lost."""

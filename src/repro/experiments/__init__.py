@@ -12,7 +12,8 @@ Run everything from the command line::
     react-repro table2           # a single artifact
 """
 
-from repro.experiments.runner import ExperimentSettings, ExperimentRunner
+from repro.experiments.runner import ExperimentSettings, ExperimentRunner, make_runner
+from repro.experiments.parallel import ParallelExperimentRunner, RunSpec
 from repro.experiments import (
     fig1_static_tradeoff,
     fig6_voltage_trace,
@@ -42,4 +43,11 @@ EXPERIMENTS = {
     "overhead": overhead.run,
 }
 
-__all__ = ["ExperimentSettings", "ExperimentRunner", "EXPERIMENTS"]
+__all__ = [
+    "ExperimentSettings",
+    "ExperimentRunner",
+    "ParallelExperimentRunner",
+    "RunSpec",
+    "make_runner",
+    "EXPERIMENTS",
+]

@@ -36,6 +36,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="truncate the long solar traces and coarsen the timestep (minutes instead of tens of minutes)",
     )
     parser.add_argument("--seed", type=int, default=0, help="trace-generation seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fan grid sweeps out over N worker processes (1 = serial)",
+    )
     return parser
 
 
@@ -44,13 +50,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    if args.workers < 1:
+        parser.error(f"--workers must be at least 1, got {args.workers}")
+
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
             module = EXPERIMENTS[name].__module__
             print(f"{name:16s} {module}")
         return 0
 
-    settings = ExperimentSettings(quick=args.quick, seed=args.seed)
+    settings = ExperimentSettings(quick=args.quick, seed=args.seed, workers=args.workers)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.perf_counter()

@@ -15,9 +15,9 @@ from typing import Dict, List, Optional
 from repro.analysis.formatting import format_matrix, percent
 from repro.experiments.runner import (
     BUFFER_ORDER,
-    ExperimentRunner,
     ExperimentSettings,
     WORKLOAD_ORDER,
+    make_runner,
 )
 from repro.sim.metrics import mean_normalized_performance
 from repro.sim.results import SimulationResult
@@ -26,7 +26,7 @@ from repro.sim.results import SimulationResult
 def run(settings: Optional[ExperimentSettings] = None, verbose: bool = True) -> Dict:
     """Regenerate Figure 7; returns normalized performance and improvements."""
     settings = settings or ExperimentSettings()
-    runner = ExperimentRunner(settings)
+    runner = make_runner(settings)
     results: List[SimulationResult] = runner.run_grid(workloads=WORKLOAD_ORDER)
 
     normalized = mean_normalized_performance(results, reference="REACT")

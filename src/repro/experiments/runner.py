@@ -60,7 +60,14 @@ WORKLOAD_ORDER = ("DE", "SC", "RT", "PF")
 
 @dataclass(frozen=True)
 class ExperimentSettings:
-    """Fidelity and methodology knobs shared by every experiment."""
+    """Fidelity and methodology knobs shared by every experiment.
+
+    ``workers`` selects how many processes grid sweeps may fan out over
+    (1 = serial); experiment modules opt in by building their runner with
+    :func:`make_runner`.  ``fast_forward`` controls the engine's off-phase
+    fast path and exists so equivalence tests and ablations can force pure
+    step-by-step execution.
+    """
 
     quick: bool = False
     seed: int = 0
@@ -70,6 +77,8 @@ class ExperimentSettings:
     quick_dt_on: float = 0.02
     quick_dt_off: float = 0.1
     max_drain_time: float = 600.0
+    workers: int = 1
+    fast_forward: bool = True
 
     @property
     def effective_dt_on(self) -> float:
@@ -140,6 +149,7 @@ class ExperimentRunner:
             dt_off=self.settings.effective_dt_off,
             max_drain_time=self.settings.max_drain_time,
             recorder=recorder,
+            fast_forward=self.settings.fast_forward,
         )
         return simulator.run()
 
@@ -161,3 +171,24 @@ class ExperimentRunner:
                     if progress is not None:
                         progress(result)
         return results
+
+
+def make_runner(
+    settings: ExperimentSettings,
+    buffer_factory: Callable[[], List[EnergyBuffer]] = standard_buffers,
+) -> ExperimentRunner:
+    """The runner the settings ask for: serial, or a process-pool fan-out.
+
+    Every table/figure module builds its runner through this factory so a
+    single ``--workers`` flag (threaded through
+    :class:`ExperimentSettings.workers`) parallelizes the whole suite.
+    """
+    if settings.workers > 1:
+        # Imported lazily: parallel.py imports this module for the spec
+        # machinery, so a top-level import would be circular.
+        from repro.experiments.parallel import ParallelExperimentRunner
+
+        return ParallelExperimentRunner(
+            settings, buffer_factory=buffer_factory, workers=settings.workers
+        )
+    return ExperimentRunner(settings, buffer_factory=buffer_factory)

@@ -16,8 +16,8 @@ from typing import Dict, List, Optional
 from repro.analysis.aggregate import matrix_from_results, mean_over_traces
 from repro.analysis.formatting import format_matrix
 from repro.experiments.runner import (
-    ExperimentRunner,
     ExperimentSettings,
+    make_runner,
 )
 from repro.sim.results import SimulationResult
 
@@ -28,7 +28,7 @@ TABLE2_WORKLOADS = ("DE", "SC", "RT")
 def run(settings: Optional[ExperimentSettings] = None, verbose: bool = True) -> Dict:
     """Regenerate Table 2; returns matrices of work completed per benchmark."""
     settings = settings or ExperimentSettings()
-    runner = ExperimentRunner(settings)
+    runner = make_runner(settings)
     results: List[SimulationResult] = runner.run_grid(workloads=TABLE2_WORKLOADS)
 
     per_workload: Dict[str, Dict[str, Dict[str, float]]] = {}

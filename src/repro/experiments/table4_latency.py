@@ -14,13 +14,13 @@ from typing import Dict, Optional
 
 from repro.analysis.aggregate import matrix_from_results, mean_over_traces
 from repro.analysis.formatting import format_matrix
-from repro.experiments.runner import ExperimentRunner, ExperimentSettings
+from repro.experiments.runner import ExperimentSettings, make_runner
 
 
 def run(settings: Optional[ExperimentSettings] = None, verbose: bool = True) -> Dict:
     """Regenerate Table 4; returns the latency matrix in seconds."""
     settings = settings or ExperimentSettings()
-    runner = ExperimentRunner(settings)
+    runner = make_runner(settings)
     # Latency is workload-invariant; SC is the cheapest workload to simulate.
     results = runner.run_grid(workloads=("SC",))
     matrix = matrix_from_results(results, value="latency")

@@ -14,13 +14,13 @@ from typing import Dict, Optional
 
 from repro.analysis.aggregate import mean_over_traces
 from repro.analysis.formatting import format_matrix
-from repro.experiments.runner import ExperimentRunner, ExperimentSettings
+from repro.experiments.runner import ExperimentSettings, make_runner
 
 
 def run(settings: Optional[ExperimentSettings] = None, verbose: bool = True) -> Dict:
     """Regenerate Table 5; returns Rx and Tx matrices."""
     settings = settings or ExperimentSettings()
-    runner = ExperimentRunner(settings)
+    runner = make_runner(settings)
     results = runner.run_grid(workloads=("PF",))
 
     received: Dict[str, Dict[str, float]] = {}

@@ -60,6 +60,27 @@ class HarvestingFrontend:
         raw = self.raw_power(time)
         return self.regulator.delivered_power(raw, buffer_voltage)
 
+    def segment_end(self, time: float) -> float:
+        """End of the constant-raw-power segment containing ``time``.
+
+        Delegates to the trace's zero-order-hold sample grid; the
+        simulator's off-phase fast path advances at most to this boundary
+        so that raw power stays constant over the fast-forwarded interval.
+        """
+        return self.trace.segment_end(time)
+
+    def credit(self, raw_energy: float, delivered_energy: float) -> None:
+        """Account a fast-forwarded interval in the energy ledger.
+
+        The off-phase fast path integrates whole constant-power intervals
+        outside :meth:`step`; this applies the same cumulative bookkeeping
+        those steps would have produced.
+        """
+        if raw_energy < 0.0 or delivered_energy < 0.0:
+            raise ValueError("fast-forwarded energies must be non-negative")
+        self.raw_energy_offered += raw_energy
+        self.energy_delivered += delivered_energy
+
     def step(self, time: float, dt: float, buffer_voltage: float) -> float:
         """Energy (joules) offered to the buffer over ``[time, time + dt)``.
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.exceptions import ConfigurationError
 
@@ -29,6 +30,19 @@ class Regulator(ABC):
             return 0.0
         return input_power * self.efficiency(input_power, buffer_voltage)
 
+    def efficiency_breakpoints(self) -> Optional[Tuple[float, ...]]:
+        """Buffer voltages at which the efficiency surface changes.
+
+        The simulator's off-phase fast path assumes delivered power is
+        constant while the trace sample and the buffer-voltage region stay
+        fixed.  Regulators whose efficiency is piecewise-constant in the
+        buffer voltage return the boundary voltages of those regions (an
+        empty tuple when efficiency never depends on buffer voltage);
+        regulators with a continuously voltage-dependent efficiency return
+        ``None``, which disables fast-forwarding entirely.
+        """
+        return None
+
 
 @dataclass(frozen=True)
 class IdealRegulator(Regulator):
@@ -36,6 +50,9 @@ class IdealRegulator(Regulator):
 
     def efficiency(self, input_power: float, buffer_voltage: float) -> float:
         return 1.0
+
+    def efficiency_breakpoints(self) -> Tuple[float, ...]:
+        return ()
 
 
 @dataclass(frozen=True)
@@ -78,3 +95,9 @@ class BoostRegulator(Regulator):
         if buffer_voltage < self.cold_start_voltage:
             efficiency = min(efficiency, self.cold_start_efficiency)
         return efficiency
+
+    def efficiency_breakpoints(self) -> Tuple[float, ...]:
+        # Efficiency depends on the buffer voltage only through the
+        # cold-start comparison, so it is piecewise-constant with a single
+        # boundary at the cold-start voltage.
+        return (self.cold_start_voltage,)

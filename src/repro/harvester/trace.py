@@ -72,6 +72,10 @@ class PowerTrace:
         if np.any(array < 0.0):
             raise TraceError("power trace contains negative samples")
         self._powers = array
+        # Python-float mirror for the per-step power_at() lookup: indexing a
+        # numpy array returns a numpy scalar whose construction costs more
+        # than the whole zero-order-hold lookup should.
+        self._powers_list = array.tolist()
         self.sample_period = float(sample_period)
         self.name = name
 
@@ -136,9 +140,25 @@ class PowerTrace:
         if time < 0.0:
             raise TraceError(f"time must be non-negative, got {time}")
         index = int(time / self.sample_period)
-        if index >= self._powers.size:
+        powers = self._powers_list
+        if index >= len(powers):
             return 0.0
-        return float(self._powers[index])
+        return powers[index]
+
+    def segment_end(self, time: float) -> float:
+        """End of the zero-order-hold segment containing ``time``.
+
+        Within the trace this is the next sample boundary (the power is
+        constant until then); past the end of the trace the power is zero
+        forever, so the segment extends to infinity.  Used by the
+        simulator's off-phase fast path to bound constant-power intervals.
+        """
+        if time < 0.0:
+            raise TraceError(f"time must be non-negative, got {time}")
+        index = int(time / self.sample_period)
+        if index >= self._powers.size:
+            return float("inf")
+        return (index + 1) * self.sample_period
 
     def energy_between(self, start: float, end: float) -> float:
         """Harvested energy between two absolute times (joules).

@@ -9,6 +9,7 @@ off, in which case the event is lost — that is precisely why reactivity
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import List
@@ -57,7 +58,7 @@ class PeriodicEventSource(EventSource):
     def events_between(self, start: float, end: float) -> List[Event]:
         if end <= start:
             return []
-        first_index = int(np.ceil((start - self.phase) / self.period))
+        first_index = math.ceil((start - self.phase) / self.period)
         first_index = max(first_index, 0)
         events: List[Event] = []
         index = first_index
@@ -90,6 +91,8 @@ class PoissonEventSource(EventSource):
     payload_size: int = 16
     seed: int = 0
     _times: np.ndarray = field(default=None, init=False, repr=False)
+    _times_list: List[float] = field(default=None, init=False, repr=False)
+    _cursor: int = field(default=0, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.mean_interarrival <= 0.0:
@@ -107,6 +110,8 @@ class PoissonEventSource(EventSource):
             more = rng.exponential(self.mean_interarrival, size=expected)
             times = np.concatenate([times, times[-1] + np.cumsum(more)])
         self._times = times[times < self.horizon]
+        self._times_list = [float(t) for t in self._times]
+        self._cursor = 0
 
     @property
     def arrival_times(self) -> np.ndarray:
@@ -116,13 +121,31 @@ class PoissonEventSource(EventSource):
         return view
 
     def events_between(self, start: float, end: float) -> List[Event]:
+        """Events with ``start <= time < end``.
+
+        Simulation queries advance monotonically (each step asks about the
+        interval that follows the previous one), so a cursor into the sorted
+        arrival list answers the common case in O(events) instead of the
+        O(total arrivals) array scan a fresh mask would cost on every step.
+        Non-monotonic queries (tests, analysis code) rewind the cursor and
+        stay correct, just without the sublinear fast path.
+        """
         if end <= start:
             return []
-        mask = (self._times >= start) & (self._times < end)
-        return [
-            Event(time=float(t), kind=self.kind, payload_size=self.payload_size)
-            for t in self._times[mask]
-        ]
+        times = self._times_list
+        cursor = self._cursor
+        if cursor > 0 and cursor <= len(times) and times[cursor - 1] >= start:
+            cursor = 0  # query went backwards: rewind and rescan
+        while cursor < len(times) and times[cursor] < start:
+            cursor += 1
+        events: List[Event] = []
+        while cursor < len(times) and times[cursor] < end:
+            events.append(
+                Event(time=times[cursor], kind=self.kind, payload_size=self.payload_size)
+            )
+            cursor += 1
+        self._cursor = cursor
+        return events
 
     def reset(self) -> None:
         self._generate()

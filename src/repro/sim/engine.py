@@ -15,10 +15,44 @@ realizes physically:
 After the power trace ends the system keeps running until the buffer is
 drained (the paper's methodology), bounded by ``max_drain_time``.
 
+Timestep policy
+---------------
+
 The step size adapts to the platform state: while the system is off the
 dynamics are slow (a capacitor charging from a 1 Hz trace), so the
-simulator takes larger steps; while the system is on it uses a fine step so
-millisecond-scale atomic operations and brown-outs resolve correctly.
+simulator takes larger ``dt_off`` steps; while the system is on it uses the
+fine ``dt_on`` step so millisecond-scale atomic operations and brown-outs
+resolve correctly.  The step on which the system turns *on* is special: it
+is detected while still off, so a naive policy would integrate it (and
+therefore resolve the enable time and the recorded latency) at the coarse
+``dt_off``.  The engine instead predicts, before each off step, whether
+harvesting for ``dt_off`` could lift the output voltage to the enable
+threshold (via :meth:`~repro.buffers.base.EnergyBuffer.post_harvest_voltage_bound`)
+and drops to ``dt_on`` for such steps, so every enable transition is
+resolved at on-phase granularity.
+
+Off-phase fast path
+-------------------
+
+While the gate is disconnected the load is the gate's constant quiescent
+current plus the buffer's own overhead, and the harvested power is
+piecewise-constant (the trace is zero-order-hold and the regulator's
+efficiency is piecewise-constant in the buffer voltage).  Instead of
+dispatching the full per-step machinery at ``dt_off``, the engine
+fast-forwards whole constant-power intervals through
+:meth:`~repro.buffers.base.EnergyBuffer.fast_forward`, stopping at trace
+sample boundaries, predicted enable-threshold crossings, regulator
+efficiency breakpoints, pending recorder sample points, and the drain
+termination test.  Buffer implementations replay exactly the per-step
+update rule of the step-by-step path (statics in a fully inlined loop, the
+adaptive designs through a conservative generic fallback), so results are
+equal to the step-by-step engine up to floating-point summation order of
+the energy ledgers; pass ``fast_forward=False`` to force pure step-by-step
+execution.
+
+Recording and latency use an end-of-step convention: a sample (and the
+first-enable latency) is stamped ``time + dt``, the end of the integration
+interval that produced the recorded state.
 """
 
 from __future__ import annotations
@@ -46,6 +80,7 @@ class Simulator:
         max_drain_time: float = 600.0,
         recorder: Optional[Recorder] = None,
         max_steps: int = 50_000_000,
+        fast_forward: bool = True,
     ) -> None:
         if dt_on <= 0.0 or dt_off <= 0.0:
             raise SimulationError("time steps must be positive")
@@ -60,6 +95,7 @@ class Simulator:
         self.max_drain_time = max_drain_time
         self.recorder = recorder
         self.max_steps = max_steps
+        self.fast_forward = fast_forward
 
     def run(self) -> SimulationResult:
         """Run the full trace (plus drain period) and return the result."""
@@ -74,6 +110,31 @@ class Simulator:
         latency: Optional[float] = None
         steps = 0
 
+        dt_on = self.dt_on
+        dt_off = self.dt_off
+        recorder = self.recorder
+        enable_voltage = gate.enable_voltage
+        quiescent_current = gate.quiescent_current
+        breakpoints = frontend.regulator.efficiency_breakpoints()
+        use_fast_forward = (
+            self.fast_forward and breakpoints is not None and buffer.can_fast_forward()
+        )
+        predict_enable = dt_off > dt_on
+        # Bound-method locals: the loop below runs tens of thousands of
+        # times per simulated trace, so attribute lookups are hoisted out.
+        frontend_step = frontend.step
+        delivered_power = frontend.delivered_power
+        voltage_bound = buffer.post_harvest_voltage_bound
+        gate_update = gate.update
+        workload_step = workload.step
+        mcu_step = mcu.step
+        mcu_set_mode = mcu.set_mode
+        mcu_current = mcu.current
+        buffer_harvest = buffer.harvest
+        buffer_draw = buffer.draw
+        buffer_housekeeping = buffer.housekeeping
+        buffer_overhead = buffer.overhead_current
+
         while True:
             if steps >= self.max_steps:
                 raise SimulationError(
@@ -82,54 +143,71 @@ class Simulator:
             if time >= trace_duration:
                 if not self.drain_after_trace or self._drained(time, hard_stop):
                     break
-            dt = self.dt_on if gate.enabled else self.dt_off
+
+            if gate.enabled:
+                dt = dt_on
+            else:
+                if use_fast_forward:
+                    consumed, time = self._advance_off_phase(
+                        time, trace_duration, hard_stop, breakpoints, self.max_steps - steps
+                    )
+                    if consumed:
+                        steps += consumed
+                        continue
+                dt = dt_off
+                if predict_enable:
+                    # Resolve the enable transition at on-phase granularity:
+                    # if a coarse harvest step could reach the enable
+                    # threshold, take this step at dt_on instead.
+                    delivered = delivered_power(time, buffer.output_voltage)
+                    if voltage_bound(delivered * dt) >= enable_voltage:
+                        dt = dt_on
 
             # 1. Harvest.
-            offered = frontend.step(time, dt, buffer.output_voltage)
-            buffer.harvest(offered, dt)
+            offered = frontend_step(time, dt, buffer.output_voltage)
+            buffer_harvest(offered, dt)
 
             # 2. Power gating.
             was_on = gate.enabled
-            system_on = gate.update(buffer.output_voltage)
+            system_on = gate_update(buffer.output_voltage)
+            end_time = time + dt
             if system_on and not was_on:
-                mcu.set_mode(PowerMode.SLEEP)
+                mcu_set_mode(PowerMode.SLEEP)
                 if latency is None:
-                    latency = time
+                    latency = end_time
             elif not system_on and was_on:
                 mcu.power_off()
                 workload.on_power_loss(time)
 
             # 3. Workload and load current.
-            demand = workload.step(
-                StepContext(time=time, dt=dt, system_on=system_on, buffer=buffer)
-            )
+            demand = workload_step(StepContext(time, dt, system_on, buffer))
             if system_on:
-                mcu.set_mode(demand.mcu_mode)
+                mcu_set_mode(demand.mcu_mode)
                 load_current = (
-                    mcu.current()
+                    mcu_current()
                     + demand.peripheral_current
-                    + gate.quiescent_current
-                    + buffer.overhead_current(True)
+                    + quiescent_current
+                    + buffer_overhead(True)
                 )
             else:
-                load_current = gate.quiescent_current + buffer.overhead_current(False)
-            mcu.step(dt)
-            buffer.draw(load_current, dt)
+                load_current = quiescent_current + buffer_overhead(False)
+            mcu_step(dt)
+            buffer_draw(load_current, dt)
 
             # 4. Buffer housekeeping (leakage, replenishment, controllers).
-            buffer.housekeeping(time, dt, system_on)
+            buffer_housekeeping(time, dt, system_on)
 
-            if self.recorder is not None:
-                self.recorder.maybe_record(
-                    time=time,
+            if recorder is not None:
+                recorder.maybe_record(
+                    time=end_time,
                     voltage=buffer.output_voltage,
                     system_on=system_on,
                     capacitance=buffer.capacitance,
                     stored_energy=buffer.stored_energy,
-                    harvested_power=frontend.raw_power(time),
+                    harvested_power=frontend.raw_power(end_time),
                 )
 
-            time += dt
+            time = end_time
             steps += 1
             if time >= hard_stop:
                 break
@@ -159,6 +237,68 @@ class Simulator:
             energy_delivered_to_load=buffer.ledger.delivered,
             wall_clock_seconds=wall_clock.perf_counter() - started_at,
         )
+
+    def _advance_off_phase(self, time, trace_duration, hard_stop, breakpoints, step_budget):
+        """Fast-forward off-phase steps inside one constant-power interval.
+
+        Returns ``(steps_consumed, new_time)``; zero steps means the fast
+        path could not make progress (an event is imminent) and the engine
+        must take a normal step.  Every bound below is conservative — a
+        step the fast path declines to consume is simply executed by the
+        exact step-by-step machinery instead.
+        """
+        system = self.system
+        frontend, buffer, gate = system.frontend, system.buffer, system.gate
+        dt = self.dt_off
+
+        # Constant-power window: the current trace sample (zero-order hold),
+        # the drain hard stop, and any pending recorder sample point.
+        limit = min(frontend.segment_end(time), hard_stop)
+        max_steps = int((limit - time) / dt)
+        if self.recorder is not None:
+            max_steps = min(
+                max_steps, int((self.recorder.next_record_time - time) / dt) - 1
+            )
+        max_steps = min(max_steps, step_budget)
+        if max_steps < 1:
+            return 0, time
+
+        voltage = buffer.output_voltage
+        stop_above = gate.enable_voltage
+        stop_below = None
+        for breakpoint_voltage in breakpoints:
+            # Power changes when the buffer voltage crosses an efficiency
+            # breakpoint, in either direction.
+            if voltage < breakpoint_voltage < stop_above:
+                stop_above = breakpoint_voltage
+            elif breakpoint_voltage <= voltage and (
+                stop_below is None or breakpoint_voltage > stop_below
+            ):
+                stop_below = breakpoint_voltage
+        drain_floor = gate.enable_voltage if time >= trace_duration else None
+
+        raw = frontend.raw_power(time)
+        delivered = frontend.delivered_power(time, voltage)
+        consumed, end_time = buffer.fast_forward(
+            delivered,
+            gate.quiescent_current,
+            dt,
+            time,
+            max_steps,
+            stop_above=stop_above,
+            stop_below=stop_below,
+            drain_floor=drain_floor,
+        )
+        if consumed == 0:
+            return 0, time
+
+        elapsed = consumed * dt
+        frontend.credit(raw * elapsed, delivered * elapsed)
+        system.mcu.step(elapsed)  # mode is OFF: accumulates off-time only
+        # One aggregated off step so the workload accounts for events
+        # (missed packets, missed deadlines) in the skipped interval.
+        system.workload.step(StepContext(time, end_time - time, False, buffer))
+        return consumed, end_time
 
     def _drained(self, time: float, hard_stop: float) -> bool:
         """True when the post-trace drain phase should stop."""

@@ -1,7 +1,24 @@
-"""Timeline recording for voltage/operation plots (Figures 1 and 6)."""
+"""Timeline recording for voltage/operation plots (Figures 1 and 6).
+
+Recording convention
+--------------------
+
+Each :class:`TimelinePoint` is a sample of the system state at the **end of
+an integration step**: the simulator integrates ``[time, time + dt)`` and
+then records the post-step voltage/energy stamped ``time + dt``, with
+``harvested_power`` evaluated from the trace at that same timestamp.  (The
+seed recorded pre-step timestamps against post-step state, which skewed
+every Figure 1/6 timeline by one step and paired each voltage with the
+power of the *previous* trace sample.)
+
+Decimated sample times snap to exact multiples of ``record_period`` rather
+than re-anchoring on the jittery step grid, so a long adaptive-step run
+yields a uniformly sampled timeline.
+"""
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List
 
@@ -10,7 +27,7 @@ import numpy as np
 
 @dataclass(frozen=True)
 class TimelinePoint:
-    """One recorded sample of the system state."""
+    """One recorded sample of the system state (end-of-step convention)."""
 
     time: float
     voltage: float
@@ -36,6 +53,15 @@ class Recorder:
         self.points: List[TimelinePoint] = []
         self._next_record_time = 0.0
 
+    @property
+    def next_record_time(self) -> float:
+        """Earliest sample timestamp the recorder still wants to capture.
+
+        The simulator's off-phase fast path uses this bound so that
+        fast-forwarded intervals never skip over a pending sample point.
+        """
+        return self._next_record_time
+
     def maybe_record(
         self,
         time: float,
@@ -45,10 +71,19 @@ class Recorder:
         stored_energy: float,
         harvested_power: float,
     ) -> None:
-        """Record a sample if the decimation interval has elapsed."""
+        """Record a sample if the decimation interval has elapsed.
+
+        ``time`` is the end-of-step timestamp the state corresponds to.  The
+        next sample time snaps to the record-period grid (the next exact
+        multiple of ``record_period``) instead of ``time + record_period``,
+        so jitter in the simulation step size does not accumulate into drift
+        of the recorded timeline.
+        """
         if time < self._next_record_time:
             return
-        self._next_record_time = time + self.record_period
+        self._next_record_time = (
+            math.floor(time / self.record_period) + 1.0
+        ) * self.record_period
         self.points.append(
             TimelinePoint(
                 time=time,

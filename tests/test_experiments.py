@@ -5,14 +5,23 @@ cheap experiments run end-to-end in quick mode and the grid runner is
 checked on a reduced subset.
 """
 
+import pickle
+
 import pytest
 
+from repro.exceptions import ConfigurationError
 from repro.experiments import EXPERIMENTS
 from repro.experiments.cli import build_parser, main
+from repro.experiments.parallel import (
+    ParallelExperimentRunner,
+    RunSpec,
+    execute_run_spec,
+)
 from repro.experiments.runner import (
     BUFFER_ORDER,
     ExperimentRunner,
     ExperimentSettings,
+    make_runner,
     make_workload,
     standard_buffers,
 )
@@ -69,6 +78,81 @@ class TestRunnerInfrastructure:
         assert {r.trace_name for r in results} == {"RF Cart"}
 
 
+class TestParallelRunner:
+    def test_grid_specs_match_serial_iteration_order(self):
+        settings = ExperimentSettings(quick=True)
+        runner = ParallelExperimentRunner(settings, workers=2)
+        specs = runner.grid_specs(workloads=("SC", "DE"), trace_names=("RF Cart",))
+        assert len(specs) == 2 * len(BUFFER_ORDER)
+        assert [s.workload for s in specs[: len(BUFFER_ORDER)]] == ["SC"] * len(BUFFER_ORDER)
+        assert [s.buffer_index for s in specs[: len(BUFFER_ORDER)]] == list(
+            range(len(BUFFER_ORDER))
+        )
+
+    def test_run_specs_are_picklable(self):
+        settings = ExperimentSettings(quick=True)
+        runner = ParallelExperimentRunner(settings, workers=2)
+        specs = runner.grid_specs(workloads=("DE",), trace_names=("RF Cart",))
+        for spec in specs:
+            restored = pickle.loads(pickle.dumps(spec))
+            assert restored == spec
+
+    def test_execute_run_spec_matches_serial_runner(self):
+        settings = ExperimentSettings(quick=True)
+        spec = RunSpec(
+            workload="DE", trace_name="RF Cart", buffer_index=0, settings=settings
+        )
+        from_spec = execute_run_spec(spec)
+        serial = ExperimentRunner(settings)
+        direct = serial.run_single(
+            settings.trace("RF Cart"),
+            standard_buffers()[0],
+            make_workload("DE", "RF Cart"),
+        )
+        assert from_spec.work_units == direct.work_units
+        assert from_spec.enable_count == direct.enable_count
+        assert from_spec.latency == direct.latency
+
+    def test_parallel_grid_equals_serial_grid(self):
+        settings = ExperimentSettings(quick=True)
+        serial = ExperimentRunner(settings).run_grid(
+            workloads=("DE",), trace_names=("RF Cart", "RF Obstruction")
+        )
+        seen = []
+        parallel = ParallelExperimentRunner(settings, workers=2).run_grid(
+            workloads=("DE",),
+            trace_names=("RF Cart", "RF Obstruction"),
+            progress=lambda r: seen.append(r.buffer_name),
+        )
+        assert [r.buffer_name for r in parallel] == [r.buffer_name for r in serial]
+        assert seen == [r.buffer_name for r in parallel]
+        for serial_result, parallel_result in zip(serial, parallel):
+            assert parallel_result.work_units == serial_result.work_units
+            assert parallel_result.enable_count == serial_result.enable_count
+            assert parallel_result.brownout_count == serial_result.brownout_count
+            assert parallel_result.latency == serial_result.latency
+            assert parallel_result.energy_delivered_to_load == pytest.approx(
+                serial_result.energy_delivered_to_load, rel=1e-12
+            )
+
+    def test_workers_one_degrades_to_serial_path(self):
+        settings = ExperimentSettings(quick=True)
+        runner = ParallelExperimentRunner(settings, workers=1)
+        results = runner.run_grid(workloads=("SC",), trace_names=("RF Cart",))
+        assert len(results) == len(BUFFER_ORDER)
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelExperimentRunner(ExperimentSettings(quick=True), workers=0)
+
+    def test_make_runner_dispatches_on_workers(self):
+        serial = make_runner(ExperimentSettings(quick=True))
+        assert type(serial) is ExperimentRunner
+        parallel = make_runner(ExperimentSettings(quick=True, workers=4))
+        assert isinstance(parallel, ParallelExperimentRunner)
+        assert parallel.workers == 4
+
+
 class TestCheapExperiments:
     def test_registry_is_complete(self):
         expected = {
@@ -103,6 +187,11 @@ class TestCli:
         args = parser.parse_args(["table1", "--quick"])
         assert args.experiment == "table1"
         assert args.quick
+        assert args.workers == 1
+
+    def test_parser_accepts_workers_flag(self):
+        args = build_parser().parse_args(["table2", "--quick", "--workers", "4"])
+        assert args.workers == 4
 
     def test_parser_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):

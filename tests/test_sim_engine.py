@@ -127,6 +127,161 @@ class TestSimulator:
             Simulator(system, max_steps=5).run()
 
 
+class TestAdaptiveTimestepAtTransitions:
+    """Regression: the enable transition must resolve at dt_on granularity.
+
+    The seed chose the step size from the gate state *before* updating the
+    gate, so the step on which the system turned on was integrated with the
+    coarse dt_off and the recorded latency was quantized to the dt_off grid.
+    """
+
+    def test_latency_resolved_at_dt_on(self, steady_trace):
+        # 1 mF charged by 5 mW reaches 3.3 V (5.445 mJ) in ~1.09 s; with the
+        # old policy a dt_off this coarse could only report a multiple of it.
+        dt_off = 0.5
+        system = BatterylessSystem.build(
+            steady_trace, StaticBuffer(millifarads(1.0)), DataEncryption()
+        )
+        result = Simulator(system, dt_on=0.01, dt_off=dt_off, max_drain_time=30.0).run()
+        assert result.latency == pytest.approx(1.09, abs=0.05)
+        distance_to_grid = min(result.latency % dt_off, dt_off - result.latency % dt_off)
+        assert distance_to_grid > 1e-6, "latency still quantized to the dt_off grid"
+
+    def test_latency_agrees_across_dt_off_choices(self, steady_trace):
+        latencies = []
+        for dt_off in (0.1, 0.25, 0.5):
+            system = BatterylessSystem.build(
+                steady_trace, StaticBuffer(millifarads(1.0)), DataEncryption()
+            )
+            result = Simulator(
+                system, dt_on=0.01, dt_off=dt_off, max_drain_time=30.0
+            ).run()
+            latencies.append(result.latency)
+        assert max(latencies) - min(latencies) <= 0.03
+
+
+class TestRecorderConventions:
+    """Regression tests for the end-of-step recording convention."""
+
+    def test_recorded_power_matches_trace_at_timestamp(self):
+        # Power drops to zero at t = 30 s; the seed paired post-step state
+        # with the power of the sample *before* the step, so points recorded
+        # just after the edge carried the stale 5 mW value.
+        powers = [5e-3] * 30 + [0.0] * 30
+        trace = PowerTrace(powers, sample_period=1.0, name="edge")
+        system = BatterylessSystem.build(
+            trace, StaticBuffer(millifarads(1.0)), DataEncryption()
+        )
+        recorder = Recorder(record_period=0.5)
+        Simulator(
+            system, dt_on=0.02, dt_off=0.1, max_drain_time=60.0, recorder=recorder
+        ).run()
+        assert len(recorder) > 10
+        for point in recorder.points:
+            assert point.harvested_power == trace.power_at(point.time)
+
+    def test_timestamps_are_end_of_step(self):
+        trace = PowerTrace([5e-3] * 10, sample_period=1.0, name="steady10")
+        system = BatterylessSystem.build(
+            trace, StaticBuffer(millifarads(1.0)), DataEncryption()
+        )
+        recorder = Recorder(record_period=0.05)
+        Simulator(
+            system, dt_on=0.02, dt_off=0.1, max_drain_time=5.0, recorder=recorder
+        ).run()
+        # Every sample is stamped at the *end* of an integration interval,
+        # so nothing can carry the pre-step timestamp 0.0.
+        assert recorder.points[0].time > 0.0
+
+    def test_decimation_snaps_to_period_grid(self):
+        # A jittery step size must not accumulate drift: each recorded
+        # sample stays within one step of its record-period grid point.
+        recorder = Recorder(record_period=0.5)
+        time, step = 0.0, 0.033
+        while time < 60.0:
+            recorder.maybe_record(time, 2.0, True, 1e-3, 1e-3, 0.0)
+            time += step
+        times = [p.time for p in recorder.points]
+        assert len(times) == pytest.approx(60.0 / 0.5, abs=2)
+        for index, recorded in enumerate(times):
+            grid_point = index * 0.5
+            assert grid_point - 1e-9 <= recorded < grid_point + step + 1e-9
+
+
+class TestFastForwardEquivalence:
+    """The off-phase fast path must match the step-by-step engine."""
+
+    @staticmethod
+    def _run(trace, buffer, workload, fast_forward, recorder=None):
+        system = BatterylessSystem.build(trace, buffer, workload)
+        return Simulator(
+            system,
+            dt_on=0.02,
+            dt_off=0.1,
+            max_drain_time=120.0,
+            recorder=recorder,
+            fast_forward=fast_forward,
+        ).run()
+
+    @pytest.mark.parametrize("buffer_name", ["770 uF", "10 mF", "17 mF", "Morphy", "REACT"])
+    @pytest.mark.parametrize("workload_factory", [DataEncryption, SenseAndCompute])
+    def test_matches_step_by_step_engine(self, short_rf_trace, buffer_name, workload_factory):
+        from repro.experiments.runner import standard_buffers
+
+        def fresh_buffer():
+            return next(b for b in standard_buffers() if b.name == buffer_name)
+
+        reference = self._run(
+            short_rf_trace, fresh_buffer(), workload_factory(), fast_forward=False
+        )
+        fast = self._run(
+            short_rf_trace, fresh_buffer(), workload_factory(), fast_forward=True
+        )
+        assert fast.work_units == reference.work_units
+        assert fast.enable_count == reference.enable_count
+        assert fast.brownout_count == reference.brownout_count
+        assert fast.latency == reference.latency
+        assert fast.simulated_time == reference.simulated_time
+        assert fast.on_time == pytest.approx(reference.on_time, rel=1e-12, abs=1e-9)
+        assert fast.energy_delivered_to_load == pytest.approx(
+            reference.energy_delivered_to_load, rel=1e-9, abs=1e-15
+        )
+        assert fast.energy_offered == pytest.approx(
+            reference.energy_offered, rel=1e-9, abs=1e-15
+        )
+        for key, value in reference.workload_metrics.items():
+            assert fast.workload_metrics[key] == pytest.approx(value, rel=1e-9), key
+
+    def test_recorder_timeline_is_preserved(self, steady_trace):
+        recorders = []
+        for fast_forward in (False, True):
+            recorder = Recorder(record_period=0.5)
+            self._run(
+                steady_trace,
+                StaticBuffer(millifarads(10.0)),
+                DataEncryption(),
+                fast_forward=fast_forward,
+                recorder=recorder,
+            )
+            recorders.append(recorder)
+        reference, fast = recorders
+        assert len(fast) == len(reference)
+        for ref_point, fast_point in zip(reference.points, fast.points):
+            assert fast_point.time == ref_point.time
+            assert fast_point.voltage == pytest.approx(ref_point.voltage, rel=1e-12)
+            assert fast_point.system_on == ref_point.system_on
+
+    def test_fast_forward_skips_interpreter_steps(self, weak_trace):
+        # A system that never starts is pure off-phase: the fast path must
+        # cover almost the whole trace in a handful of engine iterations.
+        buffer = StaticBuffer(millifarads(17.0))
+        system = BatterylessSystem.build(weak_trace, buffer, DataEncryption())
+        simulator = Simulator(system, dt_on=0.02, dt_off=0.1, max_drain_time=60.0)
+        result = simulator.run()
+        assert not result.started
+        assert result.simulated_time >= weak_trace.duration
+
+
 class TestRecorder:
     def test_decimation(self):
         recorder = Recorder(record_period=1.0)
