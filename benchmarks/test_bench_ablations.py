@@ -9,7 +9,6 @@ decisions REACT's evaluation argues for:
 * software-directed longevity guarantees on versus off.
 """
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.buffers.morphy import MorphyBuffer

@@ -1,6 +1,5 @@
 """Benchmarks for Figure 1 and the §2.1 characterization numbers."""
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.experiments import fig1_static_tradeoff, sec2_characterization

@@ -18,14 +18,33 @@ from __future__ import annotations
 import dataclasses
 import time
 
+import numpy as np
+
 from benchmarks.conftest import run_once
+from repro.buffers.static import StaticBuffer
+from repro.experiments.batched import BatchExperimentRunner
 from repro.experiments.parallel import ParallelExperimentRunner
-from repro.experiments.runner import ExperimentRunner, ExperimentSettings
+from repro.experiments.runner import ExperimentRunner
+from repro.units import millifarads
 
 #: A representative slice of the grid: every buffer and every trace, two
 #: workloads (one throughput-style, one reactivity-style).  Small enough to
 #: run three times inside the benchmark budget.
 SWEEP_WORKLOADS = ("DE", "SC")
+
+#: The batched engine's target shape: many trace-sharing cells.  A dense
+#: static-capacitance sweep (the Figure-1-style design-space exploration)
+#: packs every size into one lockstep batch per trace.
+BATCH_SWEEP_SIZES_MF = np.geomspace(0.8, 300.0, 64)
+BATCH_SWEEP_TRACES = ("RF Cart", "Solar Campus")
+
+
+def capacitance_sweep_buffers():
+    """Module-level factory: one static buffer per swept capacitance."""
+    return [
+        StaticBuffer(millifarads(float(size)), name=f"{size:.2f} mF")
+        for size in BATCH_SWEEP_SIZES_MF
+    ]
 
 
 def test_bench_grid_sweep_serial_vs_parallel(benchmark, bench_settings):
@@ -73,4 +92,61 @@ def test_bench_grid_sweep_serial_vs_parallel(benchmark, bench_settings):
     )
     benchmark.extra_info["parallel_speedup_vs_fast_serial"] = round(
         serial_seconds / parallel_seconds, 3
+    )
+
+
+def test_bench_batched_capacitance_sweep(benchmark, bench_settings):
+    """Batched lockstep sweep vs the serial engine on trace-sharing cells.
+
+    Every (size × workload) cell of a capacitance sweep shares its trace, so
+    the batch runner packs each trace's 96 cells into one vectorized
+    simulation.  Correctness gates the test — the batched grid must agree
+    with the serial grid exactly on every counter — and the speedup is both
+    recorded and asserted: the batched engine's contract is ≥2× serial-sweep
+    throughput on this shape (locally ~2.5–3×; the assertion uses a lower
+    bar so CI noise cannot fail a correct run).
+    """
+    serial_runner = ExperimentRunner(
+        bench_settings, buffer_factory=capacitance_sweep_buffers
+    )
+    batch_runner = BatchExperimentRunner(
+        dataclasses.replace(bench_settings, batch=True),
+        buffer_factory=capacitance_sweep_buffers,
+    )
+
+    started = time.perf_counter()
+    serial = serial_runner.run_grid(
+        workloads=SWEEP_WORKLOADS, trace_names=BATCH_SWEEP_TRACES
+    )
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batched = run_once(
+        benchmark,
+        batch_runner.run_grid,
+        workloads=SWEEP_WORKLOADS,
+        trace_names=BATCH_SWEEP_TRACES,
+    )
+    batched_seconds = time.perf_counter() - started
+
+    assert len(batched) == len(serial)
+    for serial_result, batched_result in zip(serial, batched):
+        assert batched_result.trace_name == serial_result.trace_name
+        assert batched_result.buffer_name == serial_result.buffer_name
+        assert batched_result.work_units == serial_result.work_units
+        assert batched_result.enable_count == serial_result.enable_count
+        assert batched_result.brownout_count == serial_result.brownout_count
+        assert batched_result.latency == serial_result.latency
+        assert batched_result.on_time == serial_result.on_time
+
+    speedup = serial_seconds / batched_seconds
+    benchmark.extra_info["grid_cells"] = len(serial)
+    benchmark.extra_info["lanes_per_trace"] = len(BATCH_SWEEP_SIZES_MF) * len(
+        SWEEP_WORKLOADS
+    )
+    benchmark.extra_info["serial_seconds"] = round(serial_seconds, 3)
+    benchmark.extra_info["batched_seconds"] = round(batched_seconds, 3)
+    benchmark.extra_info["batched_speedup_vs_serial"] = round(speedup, 3)
+    assert speedup >= 1.5, (
+        f"batched sweep should be well above serial throughput, got {speedup:.2f}x"
     )

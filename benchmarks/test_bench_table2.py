@@ -4,7 +4,6 @@ Regenerates the full Table 2 grid in quick fidelity and checks the
 relationships the paper's text calls out, rather than absolute counts.
 """
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.experiments import table2_benchmarks

@@ -49,8 +49,8 @@ def main() -> None:
         result = Simulator(system, recorder=recorder).run()
         readings = workload.readings
         print(f"--- {buffer.name} ---")
-        print(f"started after      : "
-              f"{result.latency:.1f} s" if result.started else "never started")
+        print("started after      : "
+              + (f"{result.latency:.1f} s" if result.started else "never started"))
         print(f"deadlines captured : {result.work_units:.0f}")
         print(f"deadlines missed   : {result.workload_metrics['missed_events']:.0f}")
         print(f"power cycles       : {result.brownout_count}")

@@ -1,11 +1,42 @@
-"""Setuptools shim.
+"""Package metadata and install configuration.
 
-All project metadata lives in ``pyproject.toml``; this file exists so the
-package can also be installed in environments whose tooling predates PEP 660
-editable installs (e.g. ``pip install -e . --no-use-pep517`` without the
-``wheel`` package available).
+Kept as a plain ``setup.py`` (no ``pyproject.toml``) so the package installs
+with any setuptools new enough for ``src/``-layout editable installs — the
+CI matrix relies on ``pip install -e .`` working on a clean checkout of
+every supported interpreter.
+
+``python_requires`` and the numpy floor below define the support window the
+CI matrix actually exercises (3.10–3.12): numpy 1.22 is the oldest release
+with wheels for all of them, and nothing in the library uses any newer
+numpy API.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="react-repro",
+    version="0.2.0",
+    description=(
+        "Reproduction of an ASPLOS'24 energy-adaptive buffer architecture "
+        "study: simulation engine, buffer models, and the paper's experiment "
+        "grid"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.22",
+    ],
+    extras_require={
+        "test": [
+            "pytest>=7.0",
+            "pytest-benchmark>=4.0",
+            "hypothesis>=6.0",
+        ],
+    },
+    entry_points={
+        "console_scripts": [
+            "react-repro=repro.experiments.cli:main",
+        ],
+    },
+)

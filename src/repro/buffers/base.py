@@ -8,8 +8,9 @@ that support it.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 
@@ -124,6 +125,21 @@ class EnergyBuffer(ABC):
         """Extra load current the buffer's own circuitry adds (amperes)."""
         return 0.0
 
+    # -- multi-system batching ------------------------------------------------
+
+    def can_batch(self) -> bool:
+        """Whether a :class:`~repro.sim.batch.BatchSimulator` lane can host this buffer.
+
+        Batched execution replays the exact per-step ``harvest`` / ``draw`` /
+        ``housekeeping`` arithmetic of the scalar engine across many systems
+        through shared numpy state arrays, so it is only available to buffer
+        architectures that export a vectorized kernel (see
+        :meth:`~repro.buffers.static.StaticBuffer.can_batch`).  Architectures
+        without one return False here and the experiment layer falls back to
+        the scalar engine for their lanes.
+        """
+        return False
+
     # -- off-phase fast forwarding --------------------------------------------
 
     def can_fast_forward(self) -> bool:
@@ -164,7 +180,7 @@ class EnergyBuffer(ABC):
         if energy <= 0.0:
             return self.output_voltage
         voltage = self.output_voltage
-        return (voltage * voltage + 2.0 * energy / self.capacitance) ** 0.5
+        return math.sqrt(voltage * voltage + 2.0 * energy / self.capacitance)
 
     def fast_forward(
         self,

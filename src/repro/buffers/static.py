@@ -9,11 +9,19 @@ late and loses more cold-start energy to leakage.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.buffers.base import EnergyBuffer
+from repro.capacitors.array import CapacitorArray
 from repro.capacitors.capacitor import Capacitor
-from repro.capacitors.leakage import LeakageModel, VoltageProportionalLeakage
+from repro.capacitors.leakage import (
+    LeakageModel,
+    VoltageProportionalLeakage,
+    stack_proportional_leakage,
+)
 from repro.exceptions import ConfigurationError
 from repro.units import capacitor_energy
 
@@ -42,6 +50,15 @@ class StaticBuffer(EnergyBuffer):
     """
 
     supports_longevity = False
+
+    #: Whether this class's energy-flow hooks are exactly the single-capacitor
+    #: recurrence :class:`StaticBatchKernel` vectorizes.  Subclasses that
+    #: override ``harvest`` / ``draw`` / ``housekeeping`` /
+    #: ``overhead_current`` with different dynamics must set this False so
+    #: their lanes fall back to the scalar engine (DewdropBuffer keeps it:
+    #: its adaptation lives entirely in the longevity API, which the batch
+    #: engine services through the synced scalar object).
+    batch_exact = True
 
     def __init__(
         self,
@@ -117,6 +134,20 @@ class StaticBuffer(EnergyBuffer):
     def housekeeping(self, time: float, dt: float, system_on: bool) -> None:
         self.ledger.leaked += self._capacitor.apply_leakage(dt)
 
+    # -- multi-system batching -------------------------------------------------------
+
+    def can_batch(self) -> bool:
+        """True when this buffer's dynamics vectorize exactly.
+
+        Requires the class to vouch for its hooks (:attr:`batch_exact`) and
+        the leakage model to be one the capacitor layer can stack into
+        closed-form arrays.
+        """
+        return (
+            self.batch_exact
+            and stack_proportional_leakage([self._capacitor.leakage]) is not None
+        )
+
     # -- off-phase fast forwarding ---------------------------------------------------
 
     def post_harvest_voltage_bound(self, energy: float) -> float:
@@ -125,7 +156,7 @@ class StaticBuffer(EnergyBuffer):
             return self._capacitor.voltage
         capacitance = self._capacitor.capacitance
         new_energy = min(self._capacitor.energy + energy, self._capacitor.max_energy)
-        return (2.0 * new_energy / capacitance) ** 0.5
+        return math.sqrt(2.0 * new_energy / capacitance)
 
     def fast_forward(
         self,
@@ -166,7 +197,7 @@ class StaticBuffer(EnergyBuffer):
             new_energy = energy
             if energy_in > 0.0:
                 new_energy = min(energy + energy_in, max_energy)
-                post_charge = capacitance * (2.0 * new_energy / capacitance) ** 0.5
+                post_charge = capacitance * math.sqrt(2.0 * new_energy / capacitance)
                 if stop_above is not None and post_charge / capacitance >= stop_above:
                     break  # the gate would engage on this step: leave it to the engine
                 charge = post_charge
@@ -214,3 +245,105 @@ class StaticBuffer(EnergyBuffer):
     def reset(self) -> None:
         self._capacitor.reset()
         self._reset_base()
+
+
+class StaticBatchKernel:
+    """Vectorized lockstep state for N static-capacitor buffer lanes.
+
+    One kernel instance backs every batchable lane of a
+    :class:`~repro.sim.batch.BatchSimulator`: the per-lane
+    :class:`StaticBuffer` (or :class:`~repro.buffers.dewdrop.DewdropBuffer`)
+    objects stay alive for workload-facing APIs (longevity requests, the
+    ``ctx.buffer`` telemetry workloads read) while the electrical state
+    advances through a shared :class:`~repro.capacitors.array.CapacitorArray`.
+    Buffer-level accounting mirrors :meth:`StaticBuffer.harvest` /
+    :meth:`~StaticBuffer.draw` / :meth:`~StaticBuffer.housekeeping`: the
+    capacitor ledger entries are the buffer ledger entries for a single-cap
+    design, with ``offered`` tracked separately.
+    """
+
+    def __init__(self, buffers: Sequence[StaticBuffer], caps: CapacitorArray) -> None:
+        self.buffers = list(buffers)
+        self.caps = caps
+        self.offered = np.zeros(len(self.buffers))
+
+    @classmethod
+    def build(cls, buffers: Sequence[EnergyBuffer]) -> Optional["StaticBatchKernel"]:
+        """A kernel over ``buffers``, or None if any lane is unbatchable."""
+        if not all(isinstance(b, StaticBuffer) and b.can_batch() for b in buffers):
+            return None
+        caps = CapacitorArray.from_capacitors([b._capacitor for b in buffers])
+        if caps is None:
+            return None
+        return cls(buffers, caps)
+
+    def __len__(self) -> int:
+        return len(self.buffers)
+
+    @property
+    def voltage(self) -> np.ndarray:
+        """Per-lane output voltages."""
+        return self.caps.voltage
+
+    def post_harvest_voltage_bound(self, energy: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`StaticBuffer.post_harvest_voltage_bound`."""
+        caps = self.caps
+        voltage = caps.voltage
+        present = caps.energy(voltage)
+        new_energy = np.minimum(present + energy, caps.max_energy)
+        return np.where(
+            energy > 0.0, np.sqrt(2.0 * new_energy / caps.capacitance), voltage
+        )
+
+    def harvest(self, energy: np.ndarray) -> None:
+        """Vectorized :meth:`StaticBuffer.harvest` for one lockstep step."""
+        self.offered += energy
+        self.caps.charge_with_energy(energy)
+
+    def draw(self, current: np.ndarray, dt: np.ndarray) -> None:
+        """Vectorized :meth:`StaticBuffer.draw` for one lockstep step."""
+        self.caps.discharge_current(current, dt)
+
+    def housekeeping(self, dt: np.ndarray) -> None:
+        """Vectorized :meth:`StaticBuffer.housekeeping` (leakage only)."""
+        self.caps.apply_leakage(dt)
+
+    def drained_mask(self, enable_voltage: np.ndarray) -> np.ndarray:
+        """Which powered-off lanes can never re-enable without new input.
+
+        Mirrors the scalar drain test: output voltage below the enable
+        threshold and stored energy below what the enable voltage requires
+        on the present capacitance
+        (:meth:`~repro.buffers.base.EnergyBuffer.can_reach_voltage`).
+        """
+        caps = self.caps
+        voltage = caps.voltage
+        stored = caps.energy(voltage)
+        needed = 0.5 * caps.capacitance * enable_voltage * enable_voltage
+        return (voltage < enable_voltage) & ~(stored >= needed)
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop retired lanes from the shared arrays."""
+        self.buffers = [b for b, k in zip(self.buffers, keep) if k]
+        self.offered = self.offered[keep]
+        self.caps.compact(keep)
+
+    def sync_lane(self, index: int) -> None:
+        """Refresh lane ``index``'s buffer object so Python code can read it."""
+        self.caps.sync_charge(index)
+
+    def sync_lanes(self, indices: Sequence[int]) -> None:
+        """Refresh every buffer object in ``indices`` in one pass."""
+        self.caps.sync_charges(indices)
+
+    def finalize_lane(self, index: int) -> StaticBuffer:
+        """Write lane ``index`` back into its buffer object and return it."""
+        buffer = self.buffers[index]
+        caps = self.caps
+        caps.writeback(index)
+        buffer.ledger.offered += float(self.offered[index])
+        buffer.ledger.stored += float(caps.absorbed[index])
+        buffer.ledger.clipped += float(caps.clipped[index])
+        buffer.ledger.delivered += float(caps.delivered[index])
+        buffer.ledger.leaked += float(caps.leaked[index])
+        return buffer

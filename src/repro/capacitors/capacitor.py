@@ -17,6 +17,7 @@ Figure 7) aggregate.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.capacitors.leakage import LeakageModel, NoLeakage
@@ -158,7 +159,10 @@ class Capacitor:
             new_energy = max_energy
         stored = new_energy - present
         clipped = energy - stored
-        self._charge = capacitance * (2.0 * new_energy / capacitance) ** 0.5
+        # math.sqrt rather than ``** 0.5``: both are one libm call, but sqrt
+        # is correctly rounded while pow is not always, and the batched
+        # (numpy) kernels must reproduce this trajectory bit-for-bit.
+        self._charge = capacitance * math.sqrt(2.0 * new_energy / capacitance)
         self.ledger.absorbed += stored
         self.ledger.clipped += clipped
         return stored

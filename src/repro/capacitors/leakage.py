@@ -12,6 +12,9 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.exceptions import ConfigurationError
 
@@ -87,3 +90,35 @@ class VoltageProportionalLeakage(LeakageModel):
         if voltage <= 0.0:
             return 0.0
         return self.rated_current * (voltage / self.rated_voltage)
+
+
+def stack_proportional_leakage(
+    models: Sequence[LeakageModel],
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Stack per-lane leakage models into vectorizable parameter arrays.
+
+    The batched simulation kernel advances many independent capacitors in
+    lockstep, so each lane's leakage must reduce to the same closed form:
+    ``charge_lost = rated_current * (voltage / rated_voltage) * dt`` for
+    positive voltages.  :class:`VoltageProportionalLeakage` is exactly that,
+    and :class:`NoLeakage` is the ``rated_current = 0`` degenerate case
+    (``0.0 * (v / 1.0) * dt`` is exactly ``0.0``, matching the scalar model
+    bit-for-bit).  Any other model type — including user subclasses, whose
+    ``current`` may be arbitrary Python — returns None, which makes the
+    owning buffer report :meth:`~repro.buffers.base.EnergyBuffer.can_batch`
+    False so its lane falls back to the scalar engine.
+
+    Returns ``(rated_currents, rated_voltages)`` float arrays, or None.
+    """
+    rated_currents = np.empty(len(models))
+    rated_voltages = np.empty(len(models))
+    for index, model in enumerate(models):
+        if type(model) is VoltageProportionalLeakage:
+            rated_currents[index] = model.rated_current
+            rated_voltages[index] = model.rated_voltage
+        elif type(model) is NoLeakage:
+            rated_currents[index] = 0.0
+            rated_voltages[index] = 1.0
+        else:
+            return None
+    return rated_currents, rated_voltages

@@ -9,7 +9,7 @@ roughly 14 µW of hardware overhead per connected bank.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.exceptions import ConfigurationError

@@ -14,6 +14,7 @@ Run everything from the command line::
 
 from repro.experiments.runner import ExperimentSettings, ExperimentRunner, make_runner
 from repro.experiments.parallel import ParallelExperimentRunner, RunSpec
+from repro.experiments.batched import BatchExperimentRunner
 from repro.experiments import (
     fig1_static_tradeoff,
     fig6_voltage_trace,
@@ -47,6 +48,7 @@ __all__ = [
     "ExperimentSettings",
     "ExperimentRunner",
     "ParallelExperimentRunner",
+    "BatchExperimentRunner",
     "RunSpec",
     "make_runner",
     "EXPERIMENTS",

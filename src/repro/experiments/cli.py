@@ -42,6 +42,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="fan grid sweeps out over N worker processes (1 = serial)",
     )
+    parser.add_argument(
+        "--batch",
+        action="store_true",
+        help=(
+            "simulate each trace's grid cells in one vectorized lockstep "
+            "batch (numpy-batched buffers; others fall back to the scalar "
+            "engine); mutually exclusive with --workers"
+        ),
+    )
     return parser
 
 
@@ -52,6 +61,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.workers < 1:
         parser.error(f"--workers must be at least 1, got {args.workers}")
+    if args.batch and args.workers > 1:
+        parser.error("--batch and --workers are mutually exclusive")
 
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
@@ -59,7 +70,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{name:16s} {module}")
         return 0
 
-    settings = ExperimentSettings(quick=args.quick, seed=args.seed, workers=args.workers)
+    settings = ExperimentSettings(
+        quick=args.quick, seed=args.seed, workers=args.workers, batch=args.batch
+    )
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.perf_counter()

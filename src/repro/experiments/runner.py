@@ -22,6 +22,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.buffers.base import EnergyBuffer
 from repro.buffers.morphy import MorphyBuffer
+from repro.exceptions import ConfigurationError
 from repro.buffers.react_adapter import ReactBuffer
 from repro.buffers.static import StaticBuffer
 from repro.harvester.synthetic import TABLE3_ORDER, generate_table3_trace
@@ -63,10 +64,14 @@ class ExperimentSettings:
     """Fidelity and methodology knobs shared by every experiment.
 
     ``workers`` selects how many processes grid sweeps may fan out over
-    (1 = serial); experiment modules opt in by building their runner with
-    :func:`make_runner`.  ``fast_forward`` controls the engine's off-phase
-    fast path and exists so equivalence tests and ablations can force pure
-    step-by-step execution.
+    (1 = serial) and ``batch`` switches grid sweeps to the vectorized
+    lockstep engine (one numpy-batched simulation per trace, scalar
+    fallback for buffers without batched kernels); experiment modules opt
+    in to both by building their runner with :func:`make_runner`.  The two
+    are mutually exclusive — batching amortizes the interpreter overhead a
+    worker pool would only replicate per process.  ``fast_forward``
+    controls the scalar engine's off-phase fast path and exists so
+    equivalence tests and ablations can force pure step-by-step execution.
     """
 
     quick: bool = False
@@ -78,6 +83,7 @@ class ExperimentSettings:
     quick_dt_off: float = 0.1
     max_drain_time: float = 600.0
     workers: int = 1
+    batch: bool = False
     fast_forward: bool = True
 
     @property
@@ -177,12 +183,23 @@ def make_runner(
     settings: ExperimentSettings,
     buffer_factory: Callable[[], List[EnergyBuffer]] = standard_buffers,
 ) -> ExperimentRunner:
-    """The runner the settings ask for: serial, or a process-pool fan-out.
+    """The runner the settings ask for: serial, batched, or a process pool.
 
-    Every table/figure module builds its runner through this factory so a
-    single ``--workers`` flag (threaded through
-    :class:`ExperimentSettings.workers`) parallelizes the whole suite.
+    Every table/figure module builds its runner through this factory so the
+    ``--workers`` / ``--batch`` flags (threaded through
+    :class:`ExperimentSettings`) apply to the whole suite.
     """
+    if settings.batch and settings.workers > 1:
+        raise ConfigurationError(
+            "batch mode and a worker pool are mutually exclusive "
+            "(pick --batch or --workers)"
+        )
+    if settings.batch:
+        # Imported lazily for symmetry with the parallel runner (both
+        # modules import this one for the shared grid machinery).
+        from repro.experiments.batched import BatchExperimentRunner
+
+        return BatchExperimentRunner(settings, buffer_factory=buffer_factory)
     if settings.workers > 1:
         # Imported lazily: parallel.py imports this module for the spec
         # machinery, so a top-level import would be circular.

@@ -145,6 +145,35 @@ class PowerTrace:
             return 0.0
         return powers[index]
 
+    def powers_at(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`power_at`: zero-order-hold lookup per lane.
+
+        The batched simulator's lanes drift apart in simulated time (their
+        adaptive steps differ), so each lockstep step samples the trace at
+        many distinct timestamps at once.  Indexing matches the scalar
+        lookup exactly — ``int(time / sample_period)`` truncation, zero
+        power beyond the end of the trace.
+        """
+        if times.size and times.min() < 0.0:
+            raise TraceError("times must be non-negative")
+        indices = (times / self.sample_period).astype(np.int64)
+        size = self._powers.size
+        return np.where(
+            indices < size, self._powers[np.minimum(indices, size - 1)], 0.0
+        )
+
+    def zero_order_hold_table(self) -> Tuple[np.ndarray, int]:
+        """``(padded_powers, sentinel_index)`` for inline vectorized lookup.
+
+        The batch engine's hot loop samples the trace once per lockstep
+        step; ``padded_powers[np.minimum((times / sample_period).astype(int64),
+        sentinel_index)]`` reproduces :meth:`power_at` exactly — truncating
+        index, zero power past the end (the sentinel sample) — without
+        per-call bounds handling.  :meth:`powers_at` is the reference
+        implementation the equivalence tests pin this table against.
+        """
+        return np.append(self._powers, 0.0), self._powers.size
+
     def segment_end(self, time: float) -> float:
         """End of the zero-order-hold segment containing ``time``.
 

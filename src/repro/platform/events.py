@@ -48,15 +48,28 @@ class PeriodicEventSource(EventSource):
     kind: str = "deadline"
     phase: float = 0.0
     _emitted_up_to: float = field(default=0.0, init=False)
+    _scan_from: float = field(default=0.0, init=False)
+    _next_event_time: float = field(default=0.0, init=False)
 
     def __post_init__(self) -> None:
         if self.period <= 0.0:
             raise ConfigurationError(f"period must be positive, got {self.period}")
         if self.phase < 0.0:
             raise ConfigurationError(f"phase must be non-negative, got {self.phase}")
+        self._next_event_time = self.phase
 
     def events_between(self, start: float, end: float) -> List[Event]:
         if end <= start:
+            return []
+        # Simulation queries advance monotonically over contiguous windows
+        # and the next deadline is usually seconds away, so the overwhelmingly
+        # common case is "no deadline in this step".  The cached next event
+        # time answers it with one comparison; any query that reaches or
+        # rewinds past the cache falls through to the exact index arithmetic.
+        if end <= self._next_event_time and start >= self._scan_from:
+            self._scan_from = end
+            if end > self._emitted_up_to:
+                self._emitted_up_to = end
             return []
         first_index = math.ceil((start - self.phase) / self.period)
         first_index = max(first_index, 0)
@@ -69,11 +82,15 @@ class PeriodicEventSource(EventSource):
             if time >= start:
                 events.append(Event(time=time, kind=self.kind))
             index += 1
+        self._scan_from = end
+        self._next_event_time = self.phase + index * self.period
         self._emitted_up_to = max(self._emitted_up_to, end)
         return events
 
     def reset(self) -> None:
         self._emitted_up_to = 0.0
+        self._scan_from = 0.0
+        self._next_event_time = self.phase
 
 
 @dataclass

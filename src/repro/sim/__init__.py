@@ -9,6 +9,7 @@ buffer, and every joule is accounted for in the result ledgers.
 
 from repro.sim.system import BatterylessSystem
 from repro.sim.engine import Simulator
+from repro.sim.batch import BatchSimulator
 from repro.sim.recorder import Recorder, TimelinePoint
 from repro.sim.results import SimulationResult
 from repro.sim.metrics import (
@@ -21,6 +22,7 @@ from repro.sim.metrics import (
 __all__ = [
     "BatterylessSystem",
     "Simulator",
+    "BatchSimulator",
     "Recorder",
     "TimelinePoint",
     "SimulationResult",

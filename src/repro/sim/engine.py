@@ -81,6 +81,8 @@ class Simulator:
         recorder: Optional[Recorder] = None,
         max_steps: int = 50_000_000,
         fast_forward: bool = True,
+        start_time: float = 0.0,
+        initial_latency: Optional[float] = None,
     ) -> None:
         if dt_on <= 0.0 or dt_off <= 0.0:
             raise SimulationError("time steps must be positive")
@@ -88,6 +90,8 @@ class Simulator:
             raise SimulationError("dt_off should be at least as large as dt_on")
         if max_drain_time < 0.0:
             raise SimulationError("max drain time must be non-negative")
+        if start_time < 0.0:
+            raise SimulationError("start time must be non-negative")
         self.system = system
         self.dt_on = dt_on
         self.dt_off = dt_off
@@ -96,6 +100,11 @@ class Simulator:
         self.recorder = recorder
         self.max_steps = max_steps
         self.fast_forward = fast_forward
+        # Mid-flight resumption support: the batch engine retires its last
+        # few lanes to the scalar engine once an array step no longer
+        # amortizes (all other simulation state lives in the components).
+        self.start_time = start_time
+        self.initial_latency = initial_latency
 
     def run(self) -> SimulationResult:
         """Run the full trace (plus drain period) and return the result."""
@@ -106,8 +115,8 @@ class Simulator:
 
         trace_duration = frontend.duration
         hard_stop = trace_duration + (self.max_drain_time if self.drain_after_trace else 0.0)
-        time = 0.0
-        latency: Optional[float] = None
+        time = self.start_time
+        latency: Optional[float] = self.initial_latency
         steps = 0
 
         dt_on = self.dt_on

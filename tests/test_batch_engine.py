@@ -1,0 +1,515 @@
+"""Vectorized multi-system batch engine: equivalence and infrastructure.
+
+The batch engine's contract is that every batched lane reproduces the
+scalar engine's results: bit-identically against step-by-step execution,
+and within floating-point summation order (pinned at 1e-9 relative
+tolerance) against the scalar engine's default off-phase fast path.  These
+tests pin that contract on the full quick-mode grid for every batched
+buffer (the statics and Dewdrop), exercise lane divergence and retirement,
+the scalar tail hand-off, the per-lane fallback for unbatchable buffers,
+and the runner/CLI wiring of the third execution mode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.buffers.dewdrop import DewdropBuffer
+from repro.buffers.morphy import MorphyBuffer
+from repro.buffers.react_adapter import ReactBuffer
+from repro.buffers.static import StaticBatchKernel, StaticBuffer
+from repro.capacitors.leakage import (
+    ConstantCurrentLeakage,
+    NoLeakage,
+    VoltageProportionalLeakage,
+    stack_proportional_leakage,
+)
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.experiments.batched import BatchExperimentRunner
+from repro.experiments.cli import build_parser, main
+from repro.experiments.runner import (
+    ExperimentRunner,
+    ExperimentSettings,
+    make_runner,
+    make_workload,
+)
+from repro.harvester.regulator import BoostRegulator, IdealRegulator, Regulator
+from repro.harvester.trace import PowerTrace
+from repro.platform.mcu import MSP430FR5994
+from repro.sim.batch import BatchSimulator
+from repro.sim.engine import Simulator
+from repro.sim.system import BatterylessSystem
+from repro.units import microfarads, millifarads
+
+QUICK = ExperimentSettings(quick=True)
+
+#: Result fields the batch engine must reproduce exactly (they are counters
+#: or additively accumulated timestamps whose arithmetic is replicated
+#: operation for operation).
+EXACT_FIELDS = (
+    "latency",
+    "simulated_time",
+    "on_time",
+    "active_time",
+    "enable_count",
+    "brownout_count",
+    "work_units",
+)
+
+
+def static_and_dewdrop_buffers():
+    """Every buffer with a batched kernel: the paper's statics plus Dewdrop."""
+    return [
+        StaticBuffer(microfarads(770.0), name="770 uF"),
+        StaticBuffer(millifarads(10.0), name="10 mF"),
+        StaticBuffer(millifarads(17.0), name="17 mF"),
+        DewdropBuffer(millifarads(10.0)),
+    ]
+
+
+def simulator_kwargs(settings=QUICK):
+    return dict(
+        dt_on=settings.effective_dt_on,
+        dt_off=settings.effective_dt_off,
+        max_drain_time=settings.max_drain_time,
+    )
+
+
+def build_system(trace, buffer, workload_name, trace_name, regulator=None):
+    return BatterylessSystem.build(
+        trace,
+        buffer,
+        make_workload(workload_name, trace_name),
+        mcu=MSP430FR5994(),
+        regulator=regulator,
+    )
+
+
+def assert_results_equivalent(reference, batched, exact_ledgers=False):
+    """Batched results must match the scalar reference per the contract."""
+    assert reference.trace_name == batched.trace_name
+    assert reference.buffer_name == batched.buffer_name
+    assert reference.workload_name == batched.workload_name
+    for field in EXACT_FIELDS:
+        assert getattr(reference, field) == getattr(batched, field), field
+    assert reference.workload_metrics == batched.workload_metrics
+    for key, value in reference.buffer_ledger.items():
+        if exact_ledgers:
+            assert batched.buffer_ledger[key] == value, key
+        else:
+            assert batched.buffer_ledger[key] == pytest.approx(
+                value, rel=1e-9, abs=1e-15
+            ), key
+
+
+class TestBatchability:
+    def test_static_and_dewdrop_are_batchable(self):
+        for buffer in static_and_dewdrop_buffers():
+            assert buffer.can_batch()
+
+    def test_adaptive_architectures_are_not(self):
+        assert not MorphyBuffer().can_batch()
+        assert not ReactBuffer().can_batch()
+
+    def test_exotic_leakage_disables_batching(self):
+        buffer = StaticBuffer(
+            millifarads(10.0), leakage=ConstantCurrentLeakage(1e-6)
+        )
+        assert not buffer.can_batch()
+        assert StaticBatchKernel.build([buffer]) is None
+
+    def test_leakage_stacking(self):
+        stacked = stack_proportional_leakage(
+            [VoltageProportionalLeakage(1e-6, 6.3), NoLeakage()]
+        )
+        assert stacked is not None
+        rated_current, rated_voltage = stacked
+        assert rated_current[0] == pytest.approx(1e-6)
+        assert rated_current[1] == 0.0
+        assert rated_voltage[0] == pytest.approx(6.3)
+        assert stack_proportional_leakage([ConstantCurrentLeakage(1e-6)]) is None
+
+
+class TestVectorizedPrimitives:
+    def test_trace_powers_at_matches_scalar_lookup(self):
+        trace = QUICK.trace("RF Cart")
+        times = np.array([0.0, 0.37, 1.0, 5.5, trace.duration - 0.01,
+                          trace.duration, trace.duration + 123.4])
+        batched = trace.powers_at(times)
+        for t, p in zip(times, batched):
+            assert p == trace.power_at(float(t))
+
+    def test_zero_order_hold_table_matches_powers_at(self):
+        trace = QUICK.trace("RF Cart")
+        padded, sentinel = trace.zero_order_hold_table()
+        times = np.array([0.0, 0.37, 5.5, trace.duration - 0.01,
+                          trace.duration, trace.duration + 123.4])
+        indices = np.minimum(
+            (times / trace.sample_period).astype(np.int64), sentinel
+        )
+        assert list(padded[indices]) == list(trace.powers_at(times))
+
+    @pytest.mark.parametrize("regulator", [IdealRegulator(), BoostRegulator()])
+    def test_regulator_batch_matches_scalar(self, regulator):
+        powers = np.array([0.0, 1e-7, 5e-7, 2e-6, 1e-4, 3e-3])
+        voltages = np.array([0.0, 1.0, 1.8, 2.5, 3.3, 3.6])
+        batched = regulator.delivered_power_batch(powers, voltages)
+        for p, v, d in zip(powers, voltages, batched):
+            assert d == regulator.delivered_power(float(p), float(v))
+
+    def test_regulator_batch_fallback_is_exact_for_subclasses(self):
+        class Halving(Regulator):
+            def efficiency(self, input_power, buffer_voltage):
+                return 0.5
+
+        regulator = Halving()
+        powers = np.array([0.0, 1e-3, 2e-3])
+        voltages = np.zeros(3)
+        batched = regulator.delivered_power_batch(powers, voltages)
+        assert list(batched) == [0.0, 0.5e-3, 1e-3]
+
+
+class TestBatchSimulatorEquivalence:
+    def test_bitwise_equal_to_step_by_step_engine(self):
+        """Pure lockstep execution replays the scalar recurrence bit-for-bit."""
+        trace = QUICK.trace("RF Cart")
+        lanes = [("770 uF", microfarads(770.0), "DE"), ("10 mF", millifarads(10.0), "SC")]
+
+        def systems():
+            return [
+                build_system(trace, StaticBuffer(c, name=n), w, "RF Cart")
+                for n, c, w in lanes
+            ]
+
+        reference = [
+            Simulator(system, fast_forward=False, **simulator_kwargs()).run()
+            for system in systems()
+        ]
+        batched = BatchSimulator(
+            systems(), scalar_tail_lanes=0, **simulator_kwargs()
+        ).run()
+        for ref, got in zip(reference, batched):
+            assert_results_equivalent(ref, got, exact_ledgers=True)
+
+    def test_lane_divergence_and_retirement(self):
+        """Lanes with wildly different lifetimes retire independently."""
+        trace = QUICK.trace("RF Obstruction")
+        sizes = [
+            ("tiny", microfarads(200.0)),
+            ("small", microfarads(770.0)),
+            ("large", millifarads(17.0)),
+            ("never-starts", millifarads(300.0)),
+        ]
+
+        def systems():
+            return [
+                build_system(trace, StaticBuffer(c, name=n), "SC", "RF Obstruction")
+                for n, c in sizes
+            ]
+
+        reference = [
+            Simulator(system, **simulator_kwargs()).run() for system in systems()
+        ]
+        batched = BatchSimulator(
+            systems(), scalar_tail_lanes=0, **simulator_kwargs()
+        ).run()
+        assert reference[-1].latency is None  # the oversized lane never enables
+        for ref, got in zip(reference, batched):
+            assert_results_equivalent(ref, got)
+
+    def test_scalar_tail_handoff_changes_nothing(self):
+        trace = QUICK.trace("RF Cart")
+
+        def systems():
+            return [
+                build_system(
+                    trace, buffer, workload, "RF Cart"
+                )
+                for workload in ("DE", "SC")
+                for buffer in static_and_dewdrop_buffers()
+            ]
+
+        pure = BatchSimulator(
+            systems(), scalar_tail_lanes=0, **simulator_kwargs()
+        ).run()
+        with_tail = BatchSimulator(
+            systems(), scalar_tail_lanes=4, **simulator_kwargs()
+        ).run()
+        for ref, got in zip(pure, with_tail):
+            assert_results_equivalent(ref, got)
+
+    def test_fast_forward_false_threads_through_to_the_tail(self):
+        """A step-by-step ablation is bit-exact end to end.
+
+        The lockstep loop is always step-by-step arithmetic; with
+        ``fast_forward=False`` the scalar tail hand-off is too, so every
+        lane — including ledgers — must equal the step-by-step scalar
+        engine bitwise even with the tail hand-off active.
+        """
+        trace = QUICK.trace("RF Cart")
+
+        def systems():
+            return [
+                build_system(trace, buffer, workload, "RF Cart")
+                for workload in ("DE", "SC")
+                for buffer in static_and_dewdrop_buffers()
+            ]
+
+        reference = [
+            Simulator(system, fast_forward=False, **simulator_kwargs()).run()
+            for system in systems()
+        ]
+        batched = BatchSimulator(
+            systems(), fast_forward=False, **simulator_kwargs()
+        ).run()
+        for ref, got in zip(reference, batched):
+            assert_results_equivalent(ref, got, exact_ledgers=True)
+
+    def test_single_lane_batch_delegates_to_scalar_engine(self):
+        trace = QUICK.trace("RF Cart")
+        reference = Simulator(
+            build_system(trace, StaticBuffer(millifarads(10.0)), "DE", "RF Cart"),
+            **simulator_kwargs(),
+        ).run()
+        batched = BatchSimulator(
+            [build_system(trace, StaticBuffer(millifarads(10.0)), "DE", "RF Cart")],
+            **simulator_kwargs(),
+        ).run()
+        assert len(batched) == 1
+        assert_results_equivalent(reference, batched[0], exact_ledgers=True)
+
+    def test_precharged_lanes_enable_on_the_first_step(self):
+        """A lane starting at the enable threshold matches scalar exactly.
+
+        Exercises the zero-harvest enable-prediction path: with no power in
+        the first trace sample, the voltage bound degenerates to the present
+        voltage and the enabling step must still resolve at ``dt_on``.
+        """
+        trace = PowerTrace(
+            np.concatenate([np.zeros(5), np.full(10, 2e-3)]),
+            sample_period=1.0,
+            name="dark-start",
+        )
+
+        def systems():
+            built = []
+            for voltage in (3.5, 2.0):
+                buffer = StaticBuffer(millifarads(10.0), name=f"{voltage} V")
+                buffer._capacitor.set_voltage(voltage)
+                built.append(build_system(trace, buffer, "DE", "RF Cart"))
+            return built
+
+        reference = [
+            Simulator(
+                system, dt_on=0.02, dt_off=0.1, max_drain_time=20.0
+            ).run()
+            for system in systems()
+        ]
+        batched = BatchSimulator(
+            systems(), dt_on=0.02, dt_off=0.1, max_drain_time=20.0,
+            scalar_tail_lanes=0,
+        ).run()
+        assert reference[0].latency == pytest.approx(0.02)
+        for ref, got in zip(reference, batched):
+            assert_results_equivalent(ref, got)
+
+    def test_boost_regulator_lanes_match_scalar(self):
+        trace = QUICK.trace("RF Mobile")
+
+        def systems():
+            return [
+                build_system(
+                    trace,
+                    StaticBuffer(millifarads(c)),
+                    "DE",
+                    "RF Mobile",
+                    regulator=BoostRegulator(),
+                )
+                for c in (1.0, 10.0)
+            ]
+
+        reference = [
+            Simulator(system, **simulator_kwargs()).run() for system in systems()
+        ]
+        batched = BatchSimulator(
+            systems(), scalar_tail_lanes=0, **simulator_kwargs()
+        ).run()
+        for ref, got in zip(reference, batched):
+            assert_results_equivalent(ref, got)
+
+    def test_raw_energy_counted_even_when_nothing_is_delivered(self):
+        """The frontend's raw ledger must not depend on delivered power.
+
+        A boost regulator delivers nothing below its quiescent power, but
+        the raw harvested energy still exists and the scalar frontend
+        counts it; batched lanes must agree exactly.
+        """
+        quiescent = BoostRegulator().quiescent_power
+        trace = PowerTrace(
+            np.full(30, quiescent * 0.5), sample_period=1.0, name="sub-quiescent"
+        )
+
+        def systems():
+            return [
+                build_system(
+                    trace,
+                    StaticBuffer(millifarads(c)),
+                    "DE",
+                    "RF Cart",
+                    regulator=BoostRegulator(),
+                )
+                for c in (1.0, 10.0)
+            ]
+
+        scalar_systems = systems()
+        for system in scalar_systems:
+            Simulator(
+                system, dt_on=0.02, dt_off=0.1, max_drain_time=5.0,
+                fast_forward=False,
+            ).run()
+        batch_systems = systems()
+        BatchSimulator(
+            batch_systems, dt_on=0.02, dt_off=0.1, max_drain_time=5.0,
+            scalar_tail_lanes=0,
+        ).run()
+        for ref, got in zip(scalar_systems, batch_systems):
+            assert ref.frontend.raw_energy_offered > 0.0
+            assert got.frontend.raw_energy_offered == ref.frontend.raw_energy_offered
+            assert got.frontend.energy_delivered == ref.frontend.energy_delivered
+
+
+class TestBatchSimulatorValidation:
+    def test_rejects_unbatchable_buffers(self):
+        trace = QUICK.trace("RF Cart")
+        with pytest.raises(SimulationError, match="batched kernel"):
+            BatchSimulator(
+                [build_system(trace, MorphyBuffer(), "DE", "RF Cart")]
+            )
+
+    def test_rejects_mixed_traces(self):
+        lane_a = build_system(
+            QUICK.trace("RF Cart"), StaticBuffer(millifarads(10.0)), "DE", "RF Cart"
+        )
+        lane_b = build_system(
+            QUICK.trace("Solar Commute"),
+            StaticBuffer(millifarads(10.0)),
+            "DE",
+            "Solar Commute",
+        )
+        with pytest.raises(SimulationError, match="share one power trace"):
+            BatchSimulator([lane_a, lane_b])
+
+    def test_rejects_mixed_regulators(self):
+        trace = QUICK.trace("RF Cart")
+        lane_a = build_system(trace, StaticBuffer(millifarads(10.0)), "DE", "RF Cart")
+        lane_b = build_system(
+            trace,
+            StaticBuffer(millifarads(10.0)),
+            "DE",
+            "RF Cart",
+            regulator=BoostRegulator(),
+        )
+        with pytest.raises(SimulationError, match="share one regulator"):
+            BatchSimulator([lane_a, lane_b])
+
+    def test_rejects_empty_batch_and_bad_steps(self):
+        trace = QUICK.trace("RF Cart")
+        system = build_system(trace, StaticBuffer(millifarads(10.0)), "DE", "RF Cart")
+        with pytest.raises(SimulationError):
+            BatchSimulator([])
+        with pytest.raises(SimulationError):
+            BatchSimulator([system], dt_on=0.1, dt_off=0.05)
+        with pytest.raises(SimulationError):
+            BatchSimulator([system], max_drain_time=-1.0)
+
+    def test_shared_trace_accepted_by_value(self):
+        """Equal traces from different objects batch together."""
+        trace_a = QUICK.trace("RF Cart")
+        trace_b = QUICK.trace("RF Cart")
+        systems = [
+            build_system(trace_a, StaticBuffer(millifarads(10.0)), "DE", "RF Cart"),
+            build_system(trace_b, StaticBuffer(millifarads(10.0)), "SC", "RF Cart"),
+        ]
+        assert len(BatchSimulator(systems, **simulator_kwargs()).run()) == 2
+
+
+class TestFullGridEquivalence:
+    """The acceptance gate: batched == scalar on the full quick-mode grid."""
+
+    def test_full_quick_grid_static_and_dewdrop(self):
+        serial = ExperimentRunner(
+            QUICK, buffer_factory=static_and_dewdrop_buffers
+        ).run_grid()
+        batched = BatchExperimentRunner(
+            ExperimentSettings(quick=True, batch=True),
+            buffer_factory=static_and_dewdrop_buffers,
+        ).run_grid()
+        assert len(serial) == len(batched) == 4 * 5 * 4  # workloads×traces×buffers
+        for ref, got in zip(serial, batched):
+            assert_results_equivalent(ref, got)
+
+    def test_mixed_grid_falls_back_per_lane(self):
+        """Morphy/REACT cells run scalar and land in serial order."""
+        serial = ExperimentRunner(QUICK).run_grid(
+            workloads=("SC",), trace_names=("RF Cart",)
+        )
+        seen = []
+        batched = BatchExperimentRunner(
+            ExperimentSettings(quick=True, batch=True)
+        ).run_grid(
+            workloads=("SC",),
+            trace_names=("RF Cart",),
+            progress=lambda r: seen.append(r.buffer_name),
+        )
+        assert [r.buffer_name for r in batched] == [r.buffer_name for r in serial]
+        assert seen == [r.buffer_name for r in batched]
+        for ref, got in zip(serial, batched):
+            assert_results_equivalent(ref, got)
+
+    def test_min_lanes_routes_everything_scalar(self):
+        serial = ExperimentRunner(QUICK).run_grid(
+            workloads=("DE",), trace_names=("RF Cart",)
+        )
+        batched = BatchExperimentRunner(
+            ExperimentSettings(quick=True, batch=True), min_lanes=100
+        ).run_grid(workloads=("DE",), trace_names=("RF Cart",))
+        for ref, got in zip(serial, batched):
+            assert_results_equivalent(ref, got, exact_ledgers=True)
+
+
+class TestThirdExecutionModeWiring:
+    def test_make_runner_dispatches_on_batch(self):
+        runner = make_runner(ExperimentSettings(quick=True, batch=True))
+        assert isinstance(runner, BatchExperimentRunner)
+        assert type(make_runner(ExperimentSettings(quick=True))) is ExperimentRunner
+
+    def test_batch_and_workers_are_mutually_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            make_runner(ExperimentSettings(quick=True, batch=True, workers=4))
+
+    def test_cli_accepts_batch_flag(self):
+        args = build_parser().parse_args(["table2", "--quick", "--batch"])
+        assert args.batch and args.quick
+
+    def test_cli_rejects_batch_with_workers(self):
+        with pytest.raises(SystemExit):
+            main(["table2", "--batch", "--workers", "4"])
+
+
+class TestMidFlightScalarResume:
+    """The engine hooks the tail hand-off relies on."""
+
+    def test_start_time_resumes_accounting(self):
+        trace = PowerTrace(np.full(20, 5e-3), sample_period=1.0, name="const")
+        system = build_system(trace, StaticBuffer(millifarads(10.0)), "DE", "RF Cart")
+        result = Simulator(
+            system, dt_on=0.02, dt_off=0.1, max_drain_time=5.0, start_time=18.0,
+            initial_latency=3.21,
+        ).run()
+        assert result.latency == pytest.approx(3.21)
+        assert result.simulated_time >= 18.0
+
+    def test_negative_start_time_rejected(self):
+        trace = PowerTrace([1e-3], sample_period=1.0)
+        system = build_system(trace, StaticBuffer(millifarads(10.0)), "DE", "RF Cart")
+        with pytest.raises(SimulationError):
+            Simulator(system, start_time=-1.0)

@@ -9,6 +9,8 @@ import pickle
 
 import pytest
 
+from repro.buffers.morphy import MorphyBuffer
+from repro.buffers.static import StaticBuffer
 from repro.exceptions import ConfigurationError
 from repro.experiments import EXPERIMENTS
 from repro.experiments.cli import build_parser, main
@@ -26,7 +28,28 @@ from repro.experiments.runner import (
     standard_buffers,
 )
 from repro.experiments import switching_loss, table1_configuration, table3_traces
+from repro.units import microfarads
 from repro.workloads import DataEncryption, PacketForwarding, RadioTransmit, SenseAndCompute
+
+
+def exploding_buffers():
+    """Module-level factory (picklable) whose construction fails.
+
+    Used to verify that an exception raised inside a pool worker propagates
+    out of ``run_grid`` instead of hanging or being swallowed.
+    """
+    raise ConfigurationError("buffer factory exploded in the worker")
+
+
+def slow_then_fast_buffers():
+    """Module-level factory whose first buffer simulates far slower.
+
+    Morphy's controller makes its cell one-plus orders of magnitude more
+    expensive than a small static cell, so with two workers the second
+    spec reliably completes before the first — the out-of-order-completion
+    case ordered collection must hide.
+    """
+    return [MorphyBuffer(), StaticBuffer(microfarads(770.0), name="770 uF")]
 
 
 class TestSettings:
@@ -144,6 +167,87 @@ class TestParallelRunner:
     def test_invalid_worker_count_rejected(self):
         with pytest.raises(ConfigurationError):
             ParallelExperimentRunner(ExperimentSettings(quick=True), workers=0)
+
+    def test_workers_one_uses_no_pool(self, monkeypatch):
+        """The degenerate workers=1 pool must never be constructed."""
+        import repro.experiments.parallel as parallel_module
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("workers=1 must not build a process pool")
+
+        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor", forbidden)
+        runner = ParallelExperimentRunner(ExperimentSettings(quick=True), workers=1)
+        results = runner.run_grid(workloads=("DE",), trace_names=("RF Cart",))
+        assert len(results) == len(BUFFER_ORDER)
+
+    def test_single_cell_grid_skips_pool_even_with_workers(self, monkeypatch):
+        import repro.experiments.parallel as parallel_module
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("single-cell grids must run serial")
+
+        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor", forbidden)
+        runner = ParallelExperimentRunner(
+            ExperimentSettings(quick=True),
+            buffer_factory=lambda: [StaticBuffer(microfarads(770.0), name="770 uF")],
+            workers=4,
+        )
+        results = runner.run_grid(workloads=("DE",), trace_names=("RF Cart",))
+        assert [r.buffer_name for r in results] == ["770 uF"]
+
+    def test_child_exception_propagates(self):
+        """A run spec that raises in the worker surfaces in the parent."""
+        runner = ParallelExperimentRunner(
+            ExperimentSettings(quick=True),
+            buffer_factory=exploding_buffers,
+            workers=2,
+        )
+        # grid_specs calls the factory in the parent for the buffer count;
+        # hand-build the specs so the failure happens inside the pool.
+        specs = [
+            RunSpec(
+                workload="DE",
+                trace_name=trace_name,
+                buffer_index=0,
+                settings=ExperimentSettings(quick=True),
+                buffer_factory=exploding_buffers,
+            )
+            for trace_name in ("RF Cart", "RF Obstruction")
+        ]
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            futures = [pool.submit(execute_run_spec, spec) for spec in specs]
+            with pytest.raises(ConfigurationError, match="exploded in the worker"):
+                for future in futures:
+                    future.result()
+        # And end-to-end through run_grid (the factory raises in the parent
+        # during spec construction or in the child — either way it must not
+        # hang and must surface the original exception type).
+        with pytest.raises(ConfigurationError, match="exploded"):
+            runner.run_grid(workloads=("DE",), trace_names=("RF Cart",))
+
+    def test_ordered_collection_under_out_of_order_completion(self):
+        """A slow first cell must not displace results from serial order."""
+        settings = ExperimentSettings(quick=True)
+        serial = ExperimentRunner(
+            settings, buffer_factory=slow_then_fast_buffers
+        ).run_grid(workloads=("DE",), trace_names=("RF Cart",))
+        seen = []
+        parallel = ParallelExperimentRunner(
+            settings, buffer_factory=slow_then_fast_buffers, workers=2
+        ).run_grid(
+            workloads=("DE",),
+            trace_names=("RF Cart",),
+            progress=lambda r: seen.append(r.buffer_name),
+        )
+        # Morphy (slow) first, static (fast) second — completion order is
+        # reversed, collection order must not be.
+        assert [r.buffer_name for r in parallel] == ["Morphy", "770 uF"]
+        assert seen == ["Morphy", "770 uF"]
+        for serial_result, parallel_result in zip(serial, parallel):
+            assert parallel_result.work_units == serial_result.work_units
+            assert parallel_result.latency == serial_result.latency
 
     def test_make_runner_dispatches_on_workers(self):
         serial = make_runner(ExperimentSettings(quick=True))

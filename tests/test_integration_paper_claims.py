@@ -11,7 +11,7 @@ import pytest
 from repro.buffers.morphy import MorphyBuffer
 from repro.buffers.react_adapter import ReactBuffer
 from repro.buffers.static import StaticBuffer
-from repro.harvester.synthetic import generate_table3_trace, rf_trace
+from repro.harvester.synthetic import rf_trace
 from repro.units import microfarads, millifarads
 from repro.workloads.data_encryption import DataEncryption
 from repro.workloads.radio_transmit import RadioTransmit

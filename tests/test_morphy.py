@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.buffers.morphy import (
-    DEFAULT_CONFIGURATIONS,
     MorphyBuffer,
     MorphyConfiguration,
     MorphyConfigurationTable,

@@ -8,7 +8,7 @@ from repro.core.config import BankSpec, ReactConfig, table1_config
 from repro.core.controller import ControllerAction, ReactController
 from repro.core.hardware import ReactHardware
 from repro.platform.monitor import BufferSignal
-from repro.units import capacitor_energy, microfarads
+from repro.units import microfarads
 
 
 def small_config(**overrides) -> ReactConfig:

@@ -18,7 +18,7 @@ from repro.sim.metrics import (
 from repro.sim.recorder import Recorder
 from repro.sim.results import SimulationResult
 from repro.sim.system import BatterylessSystem
-from repro.units import microfarads, millifarads
+from repro.units import millifarads
 from repro.workloads.data_encryption import DataEncryption
 from repro.workloads.sense_compute import SenseAndCompute
 
