@@ -1,16 +1,20 @@
 """Benchmark for the evaluation-sweep machinery itself.
 
-Times the quick-mode grid sweep three ways — step-by-step serial (the
-seed's execution model), fast-path serial, and fast-path with a 4-worker
-process pool — and records the throughput ratios in the benchmark JSON so
-the perf trajectory tracks sweep speed alongside the per-artifact numbers.
+Times the quick-mode grid sweep across the execution backends — step-by-step
+serial (the seed's execution model), fast-path serial, a 4-worker process
+pool, the vectorized lockstep batch, and the composed ``pool+batch``
+backend — and records the throughput ratios in the benchmark JSON so the
+perf trajectory tracks sweep speed alongside the per-artifact numbers.
+Grids are driven through the same public :func:`repro.experiments.sweep`
+surface the table/figure modules use.
 
-Correctness assertions, not timing assertions, gate the test: the parallel
-grid must return the same results in the same order as the serial grid,
-and the fast-path engine must agree with the step-by-step engine on the
-headline counters.  (Timing ratios depend on the host's core count — on a
-single-core CI runner the worker pool cannot win — so they are recorded,
-not asserted.)
+Correctness assertions, not timing assertions, gate the tests: every
+backend must return the same results in the same order as the serial
+backend, and the fast-path engine must agree with the step-by-step engine
+on the headline counters.  (Timing ratios depend on the host's core count —
+on a single-core CI runner the worker pools cannot win — so all pool
+ratios are recorded, not asserted; only the single-core batch speedup
+carries an assertion.)
 """
 
 from __future__ import annotations
@@ -22,9 +26,13 @@ import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.buffers.static import StaticBuffer
-from repro.experiments.batched import BatchExperimentRunner
-from repro.experiments.parallel import ParallelExperimentRunner
+from repro.experiments.backends import (
+    BatchBackend,
+    PoolBatchBackend,
+    ProcessPoolBackend,
+)
 from repro.experiments.runner import ExperimentRunner
+from repro.experiments import sweep
 from repro.units import millifarads
 
 #: A representative slice of the grid: every buffer and every trace, two
@@ -49,7 +57,9 @@ def capacitance_sweep_buffers():
 
 def test_bench_grid_sweep_serial_vs_parallel(benchmark, bench_settings):
     serial_runner = ExperimentRunner(bench_settings)
-    parallel_runner = ParallelExperimentRunner(bench_settings, workers=4)
+    parallel_runner = ExperimentRunner(
+        bench_settings, backend=ProcessPoolBackend(workers=4)
+    )
     step_by_step_runner = ExperimentRunner(
         dataclasses.replace(bench_settings, fast_forward=False)
     )
@@ -95,23 +105,41 @@ def test_bench_grid_sweep_serial_vs_parallel(benchmark, bench_settings):
     )
 
 
+def _assert_sweep_matches_serial(serial, candidate):
+    """Ordered counter-level equality between two sweeps of one grid."""
+    assert len(candidate) == len(serial)
+    for serial_result, candidate_result in zip(serial, candidate):
+        assert candidate_result.trace_name == serial_result.trace_name
+        assert candidate_result.buffer_name == serial_result.buffer_name
+        assert candidate_result.work_units == serial_result.work_units
+        assert candidate_result.enable_count == serial_result.enable_count
+        assert candidate_result.brownout_count == serial_result.brownout_count
+        assert candidate_result.latency == serial_result.latency
+        assert candidate_result.on_time == serial_result.on_time
+
+
 def test_bench_batched_capacitance_sweep(benchmark, bench_settings):
     """Batched lockstep sweep vs the serial engine on trace-sharing cells.
 
     Every (size × workload) cell of a capacitance sweep shares its trace, so
-    the batch runner packs each trace's 96 cells into one vectorized
-    simulation.  Correctness gates the test — the batched grid must agree
-    with the serial grid exactly on every counter — and the speedup is both
-    recorded and asserted: the batched engine's contract is ≥2× serial-sweep
-    throughput on this shape (locally ~2.5–3×; the assertion uses a lower
-    bar so CI noise cannot fail a correct run).
+    the batch backend packs each trace's 128 cells into one vectorized
+    simulation, and the ``pool+batch`` backend splits those lanes into
+    per-worker shards that batch inside the pool.  Correctness gates the
+    test — both grids must agree with the serial grid exactly on every
+    counter — and the single-core batch speedup is both recorded and
+    asserted: the batched engine's contract is ≥2× serial-sweep throughput
+    on this shape (locally ~2.5–3×; the assertion uses a lower bar so CI
+    noise cannot fail a correct run).  The ``pool+batch`` throughput is
+    recorded alongside it (pool ratios depend on the runner's core count,
+    so it carries no assertion).
     """
     serial_runner = ExperimentRunner(
         bench_settings, buffer_factory=capacitance_sweep_buffers
     )
-    batch_runner = BatchExperimentRunner(
-        dataclasses.replace(bench_settings, batch=True),
+    batch_runner = ExperimentRunner(
+        bench_settings,
         buffer_factory=capacitance_sweep_buffers,
+        backend=BatchBackend(),
     )
 
     started = time.perf_counter()
@@ -129,15 +157,18 @@ def test_bench_batched_capacitance_sweep(benchmark, bench_settings):
     )
     batched_seconds = time.perf_counter() - started
 
-    assert len(batched) == len(serial)
-    for serial_result, batched_result in zip(serial, batched):
-        assert batched_result.trace_name == serial_result.trace_name
-        assert batched_result.buffer_name == serial_result.buffer_name
-        assert batched_result.work_units == serial_result.work_units
-        assert batched_result.enable_count == serial_result.enable_count
-        assert batched_result.brownout_count == serial_result.brownout_count
-        assert batched_result.latency == serial_result.latency
-        assert batched_result.on_time == serial_result.on_time
+    started = time.perf_counter()
+    pool_batch = sweep(
+        workloads=SWEEP_WORKLOADS,
+        trace_names=BATCH_SWEEP_TRACES,
+        settings=bench_settings,
+        buffer_factory=capacitance_sweep_buffers,
+        backend=PoolBatchBackend(workers=4),
+    ).results
+    pool_batch_seconds = time.perf_counter() - started
+
+    _assert_sweep_matches_serial(serial, batched)
+    _assert_sweep_matches_serial(serial, pool_batch)
 
     speedup = serial_seconds / batched_seconds
     benchmark.extra_info["grid_cells"] = len(serial)
@@ -147,6 +178,13 @@ def test_bench_batched_capacitance_sweep(benchmark, bench_settings):
     benchmark.extra_info["serial_seconds"] = round(serial_seconds, 3)
     benchmark.extra_info["batched_seconds"] = round(batched_seconds, 3)
     benchmark.extra_info["batched_speedup_vs_serial"] = round(speedup, 3)
+    benchmark.extra_info["pool_batch_workers4_seconds"] = round(pool_batch_seconds, 3)
+    benchmark.extra_info["pool_batch_speedup_vs_serial"] = round(
+        serial_seconds / pool_batch_seconds, 3
+    )
+    benchmark.extra_info["pool_batch_speedup_vs_batched"] = round(
+        batched_seconds / pool_batch_seconds, 3
+    )
     assert speedup >= 1.5, (
         f"batched sweep should be well above serial throughput, got {speedup:.2f}x"
     )

@@ -1,23 +1,32 @@
 """Quickstart: compare REACT against a static buffer on one power trace.
 
 Runs the Sense-and-Compute benchmark on the RF Mobile trace with a 770 uF
-static buffer, the equal-capacity 17 mF static buffer, and REACT, then
-prints latency, on-time, and measurements completed.
+static buffer, the equal-capacity 17 mF static buffer, and REACT through
+the public sweep API (`repro.experiments.sweep`), then prints latency,
+on-time, and measurements completed.
+
+The sweep runs through an execution backend — "serial" here, but swap the
+``backend=`` argument for "pool", "batch", or "pool+batch" (exactly the
+CLI's ``--backend`` choices) and the same grid fans out over worker
+processes and/or vectorized lockstep batches with identical results.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import (
-    BatterylessSystem,
-    ReactBuffer,
-    SenseAndCompute,
-    Simulator,
-    StaticBuffer,
-    generate_table3_trace,
-)
+from repro import ReactBuffer, StaticBuffer, generate_table3_trace
+from repro.experiments import sweep
 from repro.units import microfarads, millifarads
+
+
+def quickstart_buffers():
+    """The three buffers to compare (module-level so specs stay picklable)."""
+    return [
+        StaticBuffer(microfarads(770.0), name="770 uF static"),
+        StaticBuffer(millifarads(17.0), name="17 mF static"),
+        ReactBuffer(),
+    ]
 
 
 def main() -> None:
@@ -25,19 +34,18 @@ def main() -> None:
     print(f"Replaying {trace.name}: {trace.duration:.0f} s, "
           f"{trace.mean_power * 1e3:.2f} mW average harvested power\n")
 
-    buffers = [
-        StaticBuffer(microfarads(770.0), name="770 uF static"),
-        StaticBuffer(millifarads(17.0), name="17 mF static"),
-        ReactBuffer(),
-    ]
+    run = sweep(
+        workloads=("SC",),
+        trace_names=("RF Mobile",),
+        buffer_factory=quickstart_buffers,
+        backend="serial",
+    )
 
     print(f"{'buffer':18s} {'latency':>9s} {'on-time':>9s} {'measurements':>13s}")
-    for buffer in buffers:
-        system = BatterylessSystem.build(trace, buffer, SenseAndCompute(execute_kernel=True))
-        result = Simulator(system).run()
+    for result in run.results:
         latency = f"{result.latency:.1f} s" if result.latency is not None else "never"
         print(
-            f"{buffer.name:18s} {latency:>9s} {result.on_time:>7.1f} s "
+            f"{result.buffer_name:18s} {latency:>9s} {result.on_time:>7.1f} s "
             f"{result.work_units:>13.0f}"
         )
 

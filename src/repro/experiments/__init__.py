@@ -3,17 +3,35 @@
 Each module reproduces one artifact of the evaluation (see DESIGN.md's
 experiment index).  All experiments share the :mod:`repro.experiments.runner`
 infrastructure so the buffer set, traces, and workload parameters are
-identical across tables, exactly as in the paper's methodology.
+identical across tables, exactly as in the paper's methodology, and all
+grid execution flows through the pluggable backend API
+(:mod:`repro.experiments.backends`): describe the grid once, pick
+``--backend serial|pool|batch|pool+batch`` (or register your own) for the
+throughput you need.  :func:`repro.experiments.sweep` is the public
+one-call surface over both.
 
 Run everything from the command line::
 
-    react-repro all --quick      # truncated traces, minutes
-    react-repro all              # full-length traces, tens of minutes
-    react-repro table2           # a single artifact
+    react-repro all --quick                   # truncated traces, minutes
+    react-repro all                           # full fidelity, tens of minutes
+    react-repro table2 --backend pool+batch   # stack both sweep speedups
 """
 
 from repro.experiments.runner import ExperimentSettings, ExperimentRunner, make_runner
-from repro.experiments.parallel import ParallelExperimentRunner, RunSpec
+from repro.experiments.backends import (
+    BatchBackend,
+    ExecutionBackend,
+    PoolBatchBackend,
+    ProcessPoolBackend,
+    RunSpec,
+    SerialBackend,
+    available_backends,
+    execute_run_spec,
+    register_backend,
+    resolve_backend,
+)
+from repro.experiments._sweep import SweepResult, sweep
+from repro.experiments.parallel import ParallelExperimentRunner
 from repro.experiments.batched import BatchExperimentRunner
 from repro.experiments import (
     fig1_static_tradeoff,
@@ -47,9 +65,23 @@ EXPERIMENTS = {
 __all__ = [
     "ExperimentSettings",
     "ExperimentRunner",
+    # backend API
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "BatchBackend",
+    "PoolBatchBackend",
+    "RunSpec",
+    "execute_run_spec",
+    "register_backend",
+    "resolve_backend",
+    "available_backends",
+    # public sweep surface
+    "sweep",
+    "SweepResult",
+    # deprecated shims
     "ParallelExperimentRunner",
     "BatchExperimentRunner",
-    "RunSpec",
     "make_runner",
     "EXPERIMENTS",
 ]

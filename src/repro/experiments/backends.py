@@ -1,0 +1,543 @@
+"""Pluggable execution backends for grid sweeps.
+
+The experiments layer separates *what to run* from *how to run it*: the
+:class:`~repro.experiments.runner.ExperimentRunner` describes a grid as a
+list of picklable :class:`RunSpec`\\ s (in the canonical serial iteration
+order) and hands it to an :class:`ExecutionBackend`, which returns one
+:class:`~repro.sim.results.SimulationResult` per spec *in spec order* no
+matter how execution is scheduled.  Four backends ship in-tree:
+
+``serial``
+    One scalar simulation at a time, in-process.
+``pool``
+    Fans specs over a :class:`~concurrent.futures.ProcessPoolExecutor`;
+    each worker rebuilds its cell from the spec.
+``batch``
+    Packs every trace's batchable specs into one vectorized
+    :class:`~repro.sim.batch.BatchSimulator` lockstep run; the rest fall
+    back to the scalar engine, lane by lane.
+``pool+batch``
+    Composes both: trace-sharing lanes are partitioned into shards, each
+    worker process runs a :class:`BatchSimulator` over its shard, and
+    unbatchable cells ride the same pool as scalar jobs — the process-pool
+    speedup multiplied by the lockstep speedup.
+
+Backends are looked up by name in a string-keyed registry
+(:func:`register_backend` / :func:`resolve_backend`), so a future remote or
+sharded dispatch backend plugs in without touching the runner: register a
+factory under a new name and ``--backend <name>`` reaches it.
+
+Grouping metadata travels on the specs themselves: ``RunSpec.trace_name``
+(together with the spec's settings, which fix the trace's fidelity) is the
+lane-grouping key — every spec mapping to the same key replays the same
+power trace and may share one lockstep batch.  :func:`trace_groups` derives
+the grouping any batch-style backend needs.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from repro.buffers.base import EnergyBuffer
+from repro.exceptions import ConfigurationError
+from repro.experiments.runner import (
+    ExperimentRunner,
+    ExperimentSettings,
+    make_workload,
+    standard_buffers,
+)
+from repro.harvester.trace import PowerTrace
+from repro.platform.mcu import MSP430FR5994
+from repro.sim.batch import DEFAULT_SCALAR_TAIL_LANES, BatchSimulator
+from repro.sim.results import SimulationResult
+from repro.sim.system import BatterylessSystem
+
+#: Callback fired once per result, in spec order.
+ProgressCallback = Callable[[SimulationResult], None]
+
+#: Grouping key for lane-sharing: specs with equal keys replay one trace.
+GroupKey = Tuple[ExperimentSettings, str]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything a backend needs to reconstruct one grid cell.
+
+    A mid-flight :class:`~repro.sim.system.BatterylessSystem` is not
+    picklable (open numpy views, bound controller state, cyclic workload
+    references), so backends never ship systems — they ship specs, and the
+    executing side rebuilds trace, buffer, and workload from scratch.
+    Construction is deterministic (the spec carries the experiment seed,
+    every workload embeds its own fixed seed), so any backend returns
+    bit-comparable results to any other, in the same order.
+
+    ``buffer_factory`` must be a picklable (module-level) callable; the
+    buffer is identified by its *index* in the factory's list so executors
+    always build a fresh instance rather than sharing state through the
+    pickle.
+    """
+
+    workload: str
+    trace_name: str
+    buffer_index: int
+    settings: ExperimentSettings
+    buffer_factory: Callable[[], List[EnergyBuffer]] = standard_buffers
+
+    @property
+    def group_key(self) -> GroupKey:
+        """The lane-grouping key: specs with equal keys share a trace."""
+        return (self.settings, self.trace_name)
+
+    def build_buffer(self) -> EnergyBuffer:
+        """A fresh buffer instance for this cell."""
+        return self.buffer_factory()[self.buffer_index]
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """How a grid of :class:`RunSpec`\\ s gets executed.
+
+    Implementations receive the grid in canonical order and must return one
+    result per spec in that same order, regardless of internal scheduling.
+    ``progress`` fires once per result in spec order — immediately for
+    backends that complete cells one at a time, or after the grid finishes
+    for backends whose cells complete interleaved (lockstep batches).
+    """
+
+    #: Registry-facing identity, e.g. ``"pool+batch"``.
+    name: str
+
+    def run_specs(
+        self,
+        specs: Sequence[RunSpec],
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[SimulationResult]:
+        """Execute every spec; results in spec order."""
+        ...
+
+
+def execute_run_spec(
+    spec: RunSpec,
+    trace: Optional[PowerTrace] = None,
+    buffer: Optional[EnergyBuffer] = None,
+) -> SimulationResult:
+    """Build and simulate one grid cell through the scalar engine.
+
+    The process-pool work function; ``trace`` and ``buffer`` let in-process
+    callers reuse an already-generated trace or an already-constructed
+    (fresh) buffer instance — construction is deterministic, so passing
+    them is purely an optimization.
+    """
+    settings = spec.settings
+    if trace is None:
+        trace = settings.trace(spec.trace_name)
+    if buffer is None:
+        buffer = spec.build_buffer()
+    runner = ExperimentRunner(settings, buffer_factory=spec.buffer_factory)
+    return runner.run_single(
+        trace, buffer, make_workload(spec.workload, spec.trace_name)
+    )
+
+
+def trace_groups(specs: Sequence[RunSpec]) -> Dict[GroupKey, List[int]]:
+    """Spec indices grouped by shared power trace, preserving spec order.
+
+    This is the grouping metadata batch-style backends key on: all specs in
+    one group replay the same trace at the same fidelity and may be packed
+    into a single lockstep batch.
+    """
+    groups: Dict[GroupKey, List[int]] = {}
+    for index, spec in enumerate(specs):
+        groups.setdefault(spec.group_key, []).append(index)
+    return groups
+
+
+class _BufferSupply:
+    """Fresh buffer instances, amortizing factory calls across lanes.
+
+    One ``buffer_factory()`` call yields a fresh instance of *every* buffer
+    index, so a group of specs needing many (workload × index) lanes draws
+    instances index-by-index from stacked factory outputs instead of
+    building the full list once per lane: the factory runs as many times as
+    the highest per-index demand (the workload count, for grid-shaped
+    groups), not once per lane.  ``can_batch`` flags are per-index
+    configuration, identical across instances, so one factory output
+    answers them for every spec sharing the factory.
+    """
+
+    def __init__(self, factory: Callable[[], List[EnergyBuffer]]) -> None:
+        self._factory = factory
+        self._stacks: Dict[int, List[EnergyBuffer]] = {}
+        self._can_batch: Optional[List[bool]] = None
+
+    def _replenish(self) -> None:
+        fresh = self._factory()
+        if self._can_batch is None:
+            self._can_batch = [buffer.can_batch() for buffer in fresh]
+        for index, buffer in enumerate(fresh):
+            self._stacks.setdefault(index, []).append(buffer)
+
+    def can_batch(self, index: int) -> bool:
+        if self._can_batch is None:
+            self._replenish()
+        return self._can_batch[index]
+
+    def take(self, index: int) -> EnergyBuffer:
+        """A fresh, never-used buffer instance for ``index``."""
+        if not self._stacks.get(index):
+            self._replenish()
+        return self._stacks[index].pop()
+
+
+def _supply_for(
+    supplies: Dict[Callable[[], List[EnergyBuffer]], _BufferSupply], spec: RunSpec
+) -> _BufferSupply:
+    supply = supplies.get(spec.buffer_factory)
+    if supply is None:
+        supply = supplies[spec.buffer_factory] = _BufferSupply(spec.buffer_factory)
+    return supply
+
+
+def partition_batchable(
+    specs: Sequence[RunSpec],
+    supplies: Optional[Dict[Callable[[], List[EnergyBuffer]], _BufferSupply]] = None,
+) -> Tuple[List[List[int]], List[int]]:
+    """Spec indices split into per-trace batchable lane groups and the rest.
+
+    The single source of truth both batch-style backends partition with, so
+    they can never disagree on which cells batch.  Returns ``(lane_groups,
+    singles)``: one index list per trace group containing its batchable
+    specs (spec order preserved), plus every unbatchable spec.  Pass
+    ``supplies`` to keep drawing lane buffers from the same factory outputs
+    used for the ``can_batch`` checks.
+    """
+    if supplies is None:
+        supplies = {}
+    lane_groups: List[List[int]] = []
+    singles: List[int] = []
+    for indices in trace_groups(specs).values():
+        batchable = [
+            i
+            for i in indices
+            if _supply_for(supplies, specs[i]).can_batch(specs[i].buffer_index)
+        ]
+        batchable_set = set(batchable)
+        singles.extend(i for i in indices if i not in batchable_set)
+        if batchable:
+            lane_groups.append(batchable)
+    return lane_groups, singles
+
+
+def _split_evenly(items: List[int], chunks: int) -> List[List[int]]:
+    """``items`` in ``chunks`` contiguous, near-equal runs (order kept)."""
+    chunks = max(1, min(chunks, len(items)))
+    base, extra = divmod(len(items), chunks)
+    out: List[List[int]] = []
+    start = 0
+    for position in range(chunks):
+        size = base + (1 if position < extra else 0)
+        out.append(items[start : start + size])
+        start += size
+    return out
+
+
+@dataclass
+class SerialBackend:
+    """One scalar simulation at a time, in-process, in spec order."""
+
+    name = "serial"
+
+    def run_specs(
+        self,
+        specs: Sequence[RunSpec],
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[SimulationResult]:
+        results: List[SimulationResult] = []
+        traces: Dict[GroupKey, PowerTrace] = {}
+        supplies: Dict[Callable[[], List[EnergyBuffer]], _BufferSupply] = {}
+        for spec in specs:
+            trace = traces.get(spec.group_key)
+            if trace is None:
+                trace = traces[spec.group_key] = spec.settings.trace(spec.trace_name)
+            buffer = _supply_for(supplies, spec).take(spec.buffer_index)
+            result = execute_run_spec(spec, trace=trace, buffer=buffer)
+            results.append(result)
+            if progress is not None:
+                progress(result)
+        return results
+
+
+@dataclass
+class ProcessPoolBackend:
+    """Fans independent specs over a process pool.
+
+    ``workers=1`` (or a single-spec grid) degrades to the serial backend
+    without constructing a pool.  Results are collected in submission order
+    — identical to spec order — so out-of-order worker completion never
+    shows; ``progress`` fires in that same deterministic order as each
+    result is collected.
+    """
+
+    workers: int = 2
+    name = "pool"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be at least 1, got {self.workers}")
+
+    def run_specs(
+        self,
+        specs: Sequence[RunSpec],
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[SimulationResult]:
+        specs = list(specs)
+        if self.workers <= 1 or len(specs) <= 1:
+            return SerialBackend().run_specs(specs, progress)
+        results: List[SimulationResult] = []
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(specs))) as pool:
+            futures = [pool.submit(execute_run_spec, spec) for spec in specs]
+            for future in futures:
+                result = future.result()
+                results.append(result)
+                if progress is not None:
+                    progress(result)
+        return results
+
+
+@dataclass
+class BatchBackend:
+    """Vectorized lockstep execution of trace-sharing specs.
+
+    Every group of batchable specs that shares a trace becomes one
+    :class:`~repro.sim.batch.BatchSimulator` run; specs whose buffer has no
+    batched kernel (:meth:`~repro.buffers.base.EnergyBuffer.can_batch` is
+    False) and groups narrower than ``min_lanes`` run through the scalar
+    engine instead, so a mixed grid still returns exactly the serial
+    backend's results in spec order.  ``min_lanes`` guards against
+    degenerate batches the simulator would immediately hand to its scalar
+    tail anyway — hence the default of one more than the tail width.
+
+    ``progress`` fires in spec order, but only after the whole grid has
+    been computed (lanes finish interleaved inside a batch, so there is no
+    meaningful earlier moment per cell).
+    """
+
+    min_lanes: int = DEFAULT_SCALAR_TAIL_LANES + 1
+    name = "batch"
+
+    def run_specs(
+        self,
+        specs: Sequence[RunSpec],
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[SimulationResult]:
+        specs = list(specs)
+        computed: List[Optional[SimulationResult]] = [None] * len(specs)
+        traces: Dict[GroupKey, PowerTrace] = {}
+        supplies: Dict[Callable[[], List[EnergyBuffer]], _BufferSupply] = {}
+        lane_groups, _ = partition_batchable(specs, supplies)
+        for group in lane_groups:
+            if len(group) < self.min_lanes:
+                continue  # the sweep below runs these cells scalar
+            first = specs[group[0]]
+            settings = first.settings
+            trace = traces[first.group_key] = settings.trace(first.trace_name)
+            lane_systems = [
+                BatterylessSystem.build(
+                    trace,
+                    _supply_for(supplies, specs[index]).take(specs[index].buffer_index),
+                    make_workload(specs[index].workload, specs[index].trace_name),
+                    mcu=MSP430FR5994(),
+                )
+                for index in group
+            ]
+            simulator = BatchSimulator.from_settings(lane_systems, settings)
+            for index, result in zip(group, simulator.run()):
+                computed[index] = result
+
+        results: List[SimulationResult] = []
+        for index, spec in enumerate(specs):
+            result = computed[index]
+            if result is None:
+                trace = traces.get(spec.group_key)
+                if trace is None:
+                    trace = traces[spec.group_key] = spec.settings.trace(
+                        spec.trace_name
+                    )
+                buffer = _supply_for(supplies, spec).take(spec.buffer_index)
+                result = execute_run_spec(spec, trace=trace, buffer=buffer)
+            results.append(result)
+            if progress is not None:
+                progress(result)
+        return results
+
+
+def execute_spec_shard(
+    specs: Sequence[RunSpec], min_lanes: int
+) -> List[SimulationResult]:
+    """Run one lane shard inside a worker (the pool+batch work function)."""
+    return BatchBackend(min_lanes=min_lanes).run_specs(specs)
+
+
+@dataclass
+class PoolBatchBackend:
+    """Process-pool fan-out with a lockstep batch inside each worker.
+
+    The composition of :class:`ProcessPoolBackend` and
+    :class:`BatchBackend`: batchable specs are grouped by shared trace,
+    each group is split into contiguous shards (so every worker gets a wide
+    lane block rather than single cells), and each shard runs one
+    :class:`~repro.sim.batch.BatchSimulator` in its worker process.
+    Unbatchable specs (Morphy, REACT) ride the same pool as individual
+    scalar jobs — which the plain batch backend runs serially — so this
+    backend stacks both speedups and also parallelizes the scalar
+    remainder.
+
+    Lane arithmetic is elementwise, so a lane's counters are independent of
+    which shard it lands in; sharding changes throughput, never results.
+    """
+
+    workers: int = 2
+    min_lanes: int = DEFAULT_SCALAR_TAIL_LANES + 1
+    name = "pool+batch"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be at least 1, got {self.workers}")
+
+    def run_specs(
+        self,
+        specs: Sequence[RunSpec],
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[SimulationResult]:
+        specs = list(specs)
+        if self.workers <= 1 or len(specs) <= 1:
+            return BatchBackend(min_lanes=self.min_lanes).run_specs(specs, progress)
+
+        lane_groups, singles = partition_batchable(specs)
+
+        # Split each trace's lanes so the shard count reaches the pool
+        # width, but never below min_lanes per shard (a narrower shard
+        # would just run scalar inside the worker).
+        shards: List[List[int]] = []
+        chunks_per_group = max(1, self.workers // max(1, len(lane_groups)))
+        for group in lane_groups:
+            chunks = min(chunks_per_group, max(1, len(group) // self.min_lanes))
+            shards.extend(_split_evenly(group, chunks))
+
+        computed: List[Optional[SimulationResult]] = [None] * len(specs)
+        job_count = len(shards) + len(singles)
+        with ProcessPoolExecutor(max_workers=min(self.workers, job_count)) as pool:
+            shard_futures = [
+                (indices, pool.submit(
+                    execute_spec_shard, [specs[i] for i in indices], self.min_lanes
+                ))
+                for indices in shards
+            ]
+            single_futures = [
+                (index, pool.submit(execute_run_spec, specs[index]))
+                for index in singles
+            ]
+            for indices, future in shard_futures:
+                for index, result in zip(indices, future.result()):
+                    computed[index] = result
+            for index, future in single_futures:
+                computed[index] = future.result()
+
+        results: List[SimulationResult] = []
+        for result in computed:
+            assert result is not None  # every spec is in a shard or singles
+            results.append(result)
+            if progress is not None:
+                progress(result)
+        return results
+
+
+# --------------------------------------------------------------------------
+# Registry
+# --------------------------------------------------------------------------
+
+#: A factory builds a backend from the sweep's settings (pool widths etc.).
+BackendFactory = Callable[[ExperimentSettings], ExecutionBackend]
+
+_REGISTRY: Dict[str, BackendFactory] = {}
+
+
+def register_backend(
+    name: str,
+    factory: Optional[BackendFactory] = None,
+    *,
+    replace: bool = False,
+):
+    """Register ``factory`` under ``name`` (usable as a decorator).
+
+    This is the extension point for out-of-tree execution strategies: a
+    remote/sharded dispatch backend registers a factory here and becomes
+    reachable through ``--backend <name>`` and
+    :attr:`ExperimentSettings.backend` without any runner changes.
+    """
+    if factory is None:
+        return lambda wrapped: register_backend(name, wrapped, replace=replace)
+    if not replace and name in _REGISTRY:
+        raise ConfigurationError(
+            f"execution backend {name!r} is already registered "
+            "(pass replace=True to override)"
+        )
+    _REGISTRY[name] = factory
+    return factory
+
+
+def unregister_backend(name: str) -> None:
+    """Remove ``name`` from the registry (no-op if absent)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Every registered backend name, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_backend(
+    name: str, settings: Optional[ExperimentSettings] = None
+) -> ExecutionBackend:
+    """Build the backend registered under ``name`` for ``settings``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown execution backend {name!r}; registered backends: "
+            + ", ".join(available_backends())
+        ) from None
+    return factory(settings if settings is not None else ExperimentSettings())
+
+
+def _pool_width(settings: ExperimentSettings) -> int:
+    """Worker count for pool-style backends: ``--workers``, else the host.
+
+    An explicit ``workers`` value is honored as given — ``--workers 1``
+    deliberately throttles to a single (in-process) worker; only an unset
+    value defaults to the host's core count.
+    """
+    if settings.workers is not None:
+        return settings.workers
+    return os.cpu_count() or 2
+
+
+register_backend("serial", lambda settings: SerialBackend())
+register_backend("pool", lambda settings: ProcessPoolBackend(workers=_pool_width(settings)))
+register_backend("batch", lambda settings: BatchBackend())
+register_backend(
+    "pool+batch",
+    lambda settings: PoolBatchBackend(workers=_pool_width(settings)),
+)

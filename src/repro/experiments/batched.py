@@ -1,117 +1,39 @@
-"""Batched (vectorized lockstep) experiment execution.
+"""Deprecated module: batched execution moved to the backend API.
 
-The third execution mode next to the serial runner and the process-pool
-runner: grid sweeps pack every cell that shares a power trace into one
-:class:`~repro.sim.batch.BatchSimulator` run, amortizing the engine's
-per-step Python dispatch across all of a trace's cells.  Cells whose buffer
-has no batched kernel (Morphy, REACT, anything whose
-:meth:`~repro.buffers.base.EnergyBuffer.can_batch` is False) fall back,
-per lane, to the scalar engine with the same settings, so a mixed grid
-still returns exactly the serial runner's results in the serial iteration
-order.
-
-Batched execution replays the scalar engine's step-by-step update rule, so
-results are bit-comparable to the serial runner up to floating-point
-summation order of the energy ledgers (see :mod:`repro.sim.batch`); the
-equivalence tests pin them to within 1e-9 relative tolerance and the grid
-counters exactly.
+The vectorized lockstep execution mode now lives in
+:mod:`repro.experiments.backends` as :class:`BatchBackend` (and composes
+with the process pool as :class:`PoolBatchBackend`).  This module keeps
+:class:`BatchExperimentRunner` as a thin deprecation shim over
+``ExperimentRunner(backend=BatchBackend(...))``.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.experiments.runner import (
-    ExperimentRunner,
-    WORKLOAD_ORDER,
-    make_workload,
+from repro.experiments.backends import (  # noqa: F401  (re-exports)
+    BatchBackend,
+    PoolBatchBackend,
 )
-from repro.platform.mcu import MSP430FR5994
-from repro.sim.batch import DEFAULT_SCALAR_TAIL_LANES, BatchSimulator
-from repro.sim.results import SimulationResult
-from repro.sim.system import BatterylessSystem
+from repro.experiments.runner import ExperimentRunner
+from repro.sim.batch import DEFAULT_SCALAR_TAIL_LANES
+
+__all__ = ["BatchExperimentRunner", "BatchBackend", "PoolBatchBackend"]
 
 
 @dataclass
 class BatchExperimentRunner(ExperimentRunner):
-    """An :class:`ExperimentRunner` that batches trace-sharing grid cells.
-
-    ``min_lanes`` guards against degenerate batches: a trace whose batchable
-    cell count is below it runs through the scalar engine unchanged, without
-    paying batch-kernel construction for a batch the
-    :class:`~repro.sim.batch.BatchSimulator` would immediately hand to the
-    scalar engine anyway — hence the default of one more than the
-    simulator's scalar tail width.  Single-run entry points
-    (:meth:`ExperimentRunner.run_single`) stay scalar — batching exists for
-    grids.
-
-    ``progress`` callbacks fire in the serial iteration order, but only
-    after the whole grid has been computed (lanes finish interleaved inside
-    a batch, so there is no meaningful earlier moment per cell).
-    """
+    """Deprecated: use ``ExperimentRunner`` with the ``batch`` backend."""
 
     min_lanes: int = DEFAULT_SCALAR_TAIL_LANES + 1
 
-    def run_grid(
-        self,
-        workloads: Iterable[str] = WORKLOAD_ORDER,
-        trace_names: Optional[Iterable[str]] = None,
-        progress: Optional[Callable[[SimulationResult], None]] = None,
-    ) -> List[SimulationResult]:
-        """Run the evaluation grid, batching each trace's batchable cells."""
-        workloads = list(workloads)
-        traces = self.settings.traces(
-            list(trace_names) if trace_names is not None else None
+    def __post_init__(self) -> None:
+        warnings.warn(
+            "BatchExperimentRunner is deprecated; use "
+            "ExperimentRunner(settings, backend=BatchBackend()) or --backend batch",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        buffer_count = len(self.buffer_factory())
-        settings = self.settings
-        computed: Dict[Tuple[str, str, int], SimulationResult] = {}
-
-        for trace_name, trace in traces.items():
-            lane_keys: List[Tuple[str, str, int]] = []
-            lane_systems: List[BatterylessSystem] = []
-            for workload_name in workloads:
-                buffers = self.buffer_factory()
-                for buffer_index, buffer in enumerate(buffers):
-                    if not buffer.can_batch():
-                        continue
-                    lane_keys.append((workload_name, trace_name, buffer_index))
-                    lane_systems.append(
-                        BatterylessSystem.build(
-                            trace,
-                            buffer,
-                            make_workload(workload_name, trace_name),
-                            mcu=MSP430FR5994(),
-                        )
-                    )
-            if len(lane_systems) < self.min_lanes:
-                continue  # the canonical loop below runs these cells scalar
-            simulator = BatchSimulator(
-                lane_systems,
-                dt_on=settings.effective_dt_on,
-                dt_off=settings.effective_dt_off,
-                max_drain_time=settings.max_drain_time,
-                fast_forward=settings.fast_forward,
-            )
-            for key, result in zip(lane_keys, simulator.run()):
-                computed[key] = result
-
-        # Emit in the serial runner's iteration order, executing whatever the
-        # batches did not cover (non-batchable buffers, sub-min_lanes traces)
-        # through the scalar engine.
-        results: List[SimulationResult] = []
-        for workload_name in workloads:
-            for trace_name, trace in traces.items():
-                for buffer_index in range(buffer_count):
-                    result = computed.get((workload_name, trace_name, buffer_index))
-                    if result is None:
-                        result = self.run_single(
-                            trace,
-                            self.buffer_factory()[buffer_index],
-                            make_workload(workload_name, trace_name),
-                        )
-                    results.append(result)
-                    if progress is not None:
-                        progress(result)
-        return results
+        if self.backend is None:
+            self.backend = BatchBackend(min_lanes=self.min_lanes)

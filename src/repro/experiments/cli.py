@@ -2,10 +2,17 @@
 
 Examples::
 
-    react-repro table4 --quick     # latency table on truncated traces
-    react-repro fig7               # full Figure 7 sweep (tens of minutes)
-    react-repro all --quick        # every artifact, quick fidelity
-    react-repro list               # show available experiments
+    react-repro table4 --quick                       # latency table, truncated traces
+    react-repro fig7                                 # full Figure 7 sweep (tens of minutes)
+    react-repro all --quick --backend pool+batch     # every artifact, both sweep speedups
+    react-repro list                                 # show available experiments
+
+Grid execution is selected with ``--backend`` (``serial``, ``pool``,
+``batch``, ``pool+batch``, plus anything registered via
+:func:`repro.experiments.backends.register_backend`).  ``--workers`` sets
+the pool width for the pool-style backends; on its own it is a deprecated
+way of selecting ``--backend pool`` (and ``--batch`` of ``--backend
+batch``; both together compose to ``pool+batch``).
 """
 
 from __future__ import annotations
@@ -13,9 +20,11 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import warnings
 from typing import List, Optional
 
 from repro.experiments import EXPERIMENTS
+from repro.experiments.backends import available_backends
 from repro.experiments.runner import ExperimentSettings
 
 
@@ -37,18 +46,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="trace-generation seed")
     parser.add_argument(
+        "--backend",
+        choices=sorted(available_backends()),
+        default=None,
+        help=(
+            "execution backend for grid sweeps: serial simulation, a process "
+            "pool, vectorized lockstep batching, or pool+batch (a lockstep "
+            "batch inside each worker, stacking both speedups); default is "
+            "resolved from --workers/--batch, else serial"
+        ),
+    )
+    parser.add_argument(
         "--workers",
         type=int,
-        default=1,
-        help="fan grid sweeps out over N worker processes (1 = serial)",
+        default=None,
+        help=(
+            "worker count for the pool-style backends, honored as given "
+            "(unset: the host's core count); without --backend, a value "
+            "above 1 selects --backend pool (deprecated spelling)"
+        ),
     )
     parser.add_argument(
         "--batch",
         action="store_true",
         help=(
-            "simulate each trace's grid cells in one vectorized lockstep "
-            "batch (numpy-batched buffers; others fall back to the scalar "
-            "engine); mutually exclusive with --workers"
+            "deprecated spelling of --backend batch (or, combined with "
+            "--workers N, of --backend pool+batch)"
         ),
     )
     return parser
@@ -59,10 +82,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    if args.workers < 1:
+    if args.workers is not None and args.workers < 1:
         parser.error(f"--workers must be at least 1, got {args.workers}")
-    if args.batch and args.workers > 1:
-        parser.error("--batch and --workers are mutually exclusive")
+
+    settings = ExperimentSettings(
+        quick=args.quick,
+        seed=args.seed,
+        workers=args.workers,
+        batch=args.batch,
+        backend=args.backend,
+    )
+    pooled = args.workers is not None and args.workers > 1
+    if args.backend is None and (args.batch or pooled):
+        # Python hides DeprecationWarning outside __main__ by default, which
+        # would mute this exactly where it should educate (the installed
+        # console script); surface this one warning without touching the
+        # rest of the filter chain.
+        warnings.filterwarnings(
+            "default", category=DeprecationWarning, message="selecting execution via"
+        )
+        warnings.warn(
+            f"selecting execution via --batch/--workers is deprecated; use "
+            f"--backend {settings.backend_name}"
+            + (" --workers N" if pooled else ""),
+            DeprecationWarning,
+            stacklevel=2,
+        )
 
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
@@ -70,9 +115,6 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{name:16s} {module}")
         return 0
 
-    settings = ExperimentSettings(
-        quick=args.quick, seed=args.seed, workers=args.workers, batch=args.batch
-    )
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.perf_counter()

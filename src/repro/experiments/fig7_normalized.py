@@ -17,8 +17,8 @@ from repro.experiments.runner import (
     BUFFER_ORDER,
     ExperimentSettings,
     WORKLOAD_ORDER,
-    make_runner,
 )
+from repro.experiments import sweep
 from repro.sim.metrics import mean_normalized_performance
 from repro.sim.results import SimulationResult
 
@@ -26,8 +26,9 @@ from repro.sim.results import SimulationResult
 def run(settings: Optional[ExperimentSettings] = None, verbose: bool = True) -> Dict:
     """Regenerate Figure 7; returns normalized performance and improvements."""
     settings = settings or ExperimentSettings()
-    runner = make_runner(settings)
-    results: List[SimulationResult] = runner.run_grid(workloads=WORKLOAD_ORDER)
+    results: List[SimulationResult] = sweep(
+        workloads=WORKLOAD_ORDER, settings=settings
+    ).results
 
     normalized = mean_normalized_performance(results, reference="REACT")
     # Overall mean across benchmarks (the "Mean" group of Figure 7).

@@ -1,120 +1,46 @@
-"""Parallel experiment execution over a process pool.
+"""Deprecated module: process-pool execution moved to the backend API.
 
-The evaluation grid (traces × workloads × buffers) is embarrassingly
-parallel: every cell is an independent simulation.  A mid-flight
-:class:`~repro.sim.system.BatterylessSystem` is not picklable (it holds
-open numpy views, bound controller state, and cyclic workload references),
-so the pool never ships systems — it ships :class:`RunSpec` descriptions
-and each worker rebuilds its trace, buffer, and workload from scratch,
-exactly the way the serial runner does.  Construction is deterministic
-(the spec carries the experiment seed, every workload embeds its own fixed
-seed), so a parallel grid returns bit-identical results to the serial
-grid, in the same order.
+Everything that used to live here is now part of
+:mod:`repro.experiments.backends`: the picklable :class:`RunSpec`, the
+pool work function :func:`execute_run_spec`, and the pool itself
+(:class:`ProcessPoolBackend`).  This module re-exports those names for
+import compatibility and keeps :class:`ParallelExperimentRunner` as a thin
+deprecation shim over ``ExperimentRunner(backend=ProcessPoolBackend(...))``.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional
 
-from repro.buffers.base import EnergyBuffer
-from repro.exceptions import ConfigurationError
-from repro.experiments.runner import (
-    ExperimentRunner,
-    ExperimentSettings,
-    WORKLOAD_ORDER,
-    make_workload,
-    standard_buffers,
+from repro.experiments.backends import (  # noqa: F401  (re-exports)
+    ProcessPoolBackend,
+    RunSpec,
+    execute_run_spec,
 )
-from repro.sim.results import SimulationResult
+from repro.experiments.runner import ExperimentRunner
 
-
-@dataclass(frozen=True)
-class RunSpec:
-    """Everything a worker needs to reconstruct one grid cell.
-
-    ``buffer_factory`` must be a picklable (module-level) callable; the
-    buffer is identified by its *index* in the factory's list so workers
-    always build a fresh instance rather than sharing state through the
-    pickle.
-    """
-
-    workload: str
-    trace_name: str
-    buffer_index: int
-    settings: ExperimentSettings
-    buffer_factory: Callable[[], List[EnergyBuffer]] = standard_buffers
-
-
-def execute_run_spec(spec: RunSpec) -> SimulationResult:
-    """Build and simulate one grid cell (the process-pool work function)."""
-    settings = spec.settings
-    trace = settings.trace(spec.trace_name)
-    buffer = spec.buffer_factory()[spec.buffer_index]
-    workload = make_workload(spec.workload, spec.trace_name)
-    runner = ExperimentRunner(settings, buffer_factory=spec.buffer_factory)
-    return runner.run_single(trace, buffer, workload)
+__all__ = [
+    "ParallelExperimentRunner",
+    "ProcessPoolBackend",
+    "RunSpec",
+    "execute_run_spec",
+]
 
 
 @dataclass
 class ParallelExperimentRunner(ExperimentRunner):
-    """An :class:`ExperimentRunner` that fans the grid out over processes.
-
-    ``workers=1`` (or a single-cell grid) degrades to the serial path, so
-    every experiment module can construct this runner unconditionally and
-    let :class:`ExperimentSettings.workers` decide.  Results are collected
-    in submission order — identical to the serial runner's iteration order
-    — so downstream aggregation code needs no changes, and ``progress``
-    callbacks fire in that same deterministic order (albeit only as each
-    result is collected).
-    """
+    """Deprecated: use ``ExperimentRunner`` with the ``pool`` backend."""
 
     workers: int = 1
 
     def __post_init__(self) -> None:
-        if self.workers < 1:
-            raise ConfigurationError(f"workers must be at least 1, got {self.workers}")
-
-    def grid_specs(
-        self,
-        workloads: Iterable[str] = WORKLOAD_ORDER,
-        trace_names: Optional[Iterable[str]] = None,
-    ) -> List[RunSpec]:
-        """The grid in serial iteration order, as picklable run specs."""
-        trace_list = list(trace_names) if trace_names is not None else None
-        traces = self.settings.traces(trace_list)
-        buffer_count = len(self.buffer_factory())
-        return [
-            RunSpec(
-                workload=workload_name,
-                trace_name=trace_name,
-                buffer_index=index,
-                settings=self.settings,
-                buffer_factory=self.buffer_factory,
-            )
-            for workload_name in workloads
-            for trace_name in traces
-            for index in range(buffer_count)
-        ]
-
-    def run_grid(
-        self,
-        workloads: Iterable[str] = WORKLOAD_ORDER,
-        trace_names: Optional[Iterable[str]] = None,
-        progress: Optional[Callable[[SimulationResult], None]] = None,
-    ) -> List[SimulationResult]:
-        """Run the evaluation grid, fanning out when ``workers > 1``."""
-        workloads = list(workloads)
-        specs = self.grid_specs(workloads, trace_names)
-        if self.workers <= 1 or len(specs) <= 1:
-            return super().run_grid(workloads, trace_names, progress)
-        results: List[SimulationResult] = []
-        with ProcessPoolExecutor(max_workers=min(self.workers, len(specs))) as pool:
-            futures = [pool.submit(execute_run_spec, spec) for spec in specs]
-            for future in futures:
-                result = future.result()
-                results.append(result)
-                if progress is not None:
-                    progress(result)
-        return results
+        warnings.warn(
+            "ParallelExperimentRunner is deprecated; use "
+            "ExperimentRunner(settings, backend=ProcessPoolBackend(workers=N)) "
+            "or --backend pool",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if self.backend is None:
+            self.backend = ProcessPoolBackend(workers=self.workers)

@@ -17,12 +17,12 @@ Two fidelity settings exist:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Union
 
 from repro.buffers.base import EnergyBuffer
 from repro.buffers.morphy import MorphyBuffer
-from repro.exceptions import ConfigurationError
 from repro.buffers.react_adapter import ReactBuffer
 from repro.buffers.static import StaticBuffer
 from repro.harvester.synthetic import TABLE3_ORDER, generate_table3_trace
@@ -40,6 +40,9 @@ from repro.workloads import (
     SenseAndCompute,
 )
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.experiments.backends import ExecutionBackend, RunSpec
 
 #: Mean packet inter-arrival time per trace for the PF benchmark, scaled to
 #: the trace length the way the paper's packet counts imply (roughly one
@@ -63,15 +66,17 @@ WORKLOAD_ORDER = ("DE", "SC", "RT", "PF")
 class ExperimentSettings:
     """Fidelity and methodology knobs shared by every experiment.
 
-    ``workers`` selects how many processes grid sweeps may fan out over
-    (1 = serial) and ``batch`` switches grid sweeps to the vectorized
-    lockstep engine (one numpy-batched simulation per trace, scalar
-    fallback for buffers without batched kernels); experiment modules opt
-    in to both by building their runner with :func:`make_runner`.  The two
-    are mutually exclusive — batching amortizes the interpreter overhead a
-    worker pool would only replicate per process.  ``fast_forward``
-    controls the scalar engine's off-phase fast path and exists so
-    equivalence tests and ablations can force pure step-by-step execution.
+    ``backend`` names the execution backend grid sweeps run through (see
+    :mod:`repro.experiments.backends`); ``None`` resolves from the legacy
+    knobs via :attr:`backend_name`.  ``workers`` is the pool width for the
+    pool-style backends — ``None`` (unset) lets them default to the host's
+    core count, while an explicit value (including 1) is honored as given —
+    and ``batch`` is the legacy switch for the vectorized lockstep engine;
+    the two *compose* — ``workers`` above 1 plus ``batch`` selects the
+    ``pool+batch`` backend, which runs a lockstep batch inside each worker
+    process.  ``fast_forward`` controls the scalar engine's off-phase fast
+    path and exists so equivalence tests and ablations can force pure
+    step-by-step execution.
     """
 
     quick: bool = False
@@ -82,9 +87,29 @@ class ExperimentSettings:
     quick_dt_on: float = 0.02
     quick_dt_off: float = 0.1
     max_drain_time: float = 600.0
-    workers: int = 1
+    workers: Optional[int] = None
     batch: bool = False
     fast_forward: bool = True
+    backend: Optional[str] = None
+
+    @property
+    def backend_name(self) -> str:
+        """The registry name execution resolves to.
+
+        An explicit :attr:`backend` wins; otherwise the legacy ``workers``
+        / ``batch`` knobs map onto the equivalent backend, composing to
+        ``pool+batch`` when both are set.
+        """
+        if self.backend:
+            return self.backend
+        pooled = (self.workers or 0) > 1
+        if self.batch and pooled:
+            return "pool+batch"
+        if self.batch:
+            return "batch"
+        if pooled:
+            return "pool"
+        return "serial"
 
     @property
     def effective_dt_on(self) -> float:
@@ -135,10 +160,32 @@ def make_workload(abbreviation: str, trace_name: str) -> Workload:
 
 @dataclass
 class ExperimentRunner:
-    """Runs (trace × buffer × workload) grids with consistent methodology."""
+    """Runs (trace × buffer × workload) grids with consistent methodology.
+
+    The runner owns *what* to run: it expands a grid into picklable
+    :class:`~repro.experiments.backends.RunSpec`\\ s in the canonical serial
+    iteration order (workload → trace → buffer).  *How* the specs execute
+    is delegated to an :class:`~repro.experiments.backends.ExecutionBackend`
+    — ``backend`` may be a backend instance, a registry name, or ``None``
+    to resolve from :attr:`ExperimentSettings.backend_name`.  Every backend
+    returns the same results in the same order, so the choice is purely
+    about throughput.
+    """
 
     settings: ExperimentSettings = field(default_factory=ExperimentSettings)
     buffer_factory: Callable[[], List[EnergyBuffer]] = standard_buffers
+    backend: Optional[Union[str, "ExecutionBackend"]] = None
+
+    def resolved_backend(self) -> "ExecutionBackend":
+        """The backend instance ``run_grid`` will delegate to."""
+        from repro.experiments.backends import resolve_backend
+
+        backend = self.backend
+        if backend is None:
+            backend = self.settings.backend_name
+        if isinstance(backend, str):
+            return resolve_backend(backend, self.settings)
+        return backend
 
     def run_single(
         self,
@@ -159,53 +206,61 @@ class ExperimentRunner:
         )
         return simulator.run()
 
+    def grid_specs(
+        self,
+        workloads: Iterable[str] = WORKLOAD_ORDER,
+        trace_names: Optional[Iterable[str]] = None,
+    ) -> List["RunSpec"]:
+        """The grid in serial iteration order, as picklable run specs."""
+        # Imported lazily: backends.py imports this module for the shared
+        # grid machinery, so a top-level import would be circular.
+        from repro.experiments.backends import RunSpec
+
+        selected = (
+            list(trace_names) if trace_names is not None else list(TABLE3_ORDER)
+        )
+        trace_list = list(dict.fromkeys(selected))  # dedupe, order kept
+        buffer_count = len(self.buffer_factory())
+        return [
+            RunSpec(
+                workload=workload_name,
+                trace_name=trace_name,
+                buffer_index=index,
+                settings=self.settings,
+                buffer_factory=self.buffer_factory,
+            )
+            for workload_name in workloads
+            for trace_name in trace_list
+            for index in range(buffer_count)
+        ]
+
     def run_grid(
         self,
         workloads: Iterable[str] = WORKLOAD_ORDER,
         trace_names: Optional[Iterable[str]] = None,
         progress: Optional[Callable[[SimulationResult], None]] = None,
     ) -> List[SimulationResult]:
-        """Run the full evaluation grid and return every result."""
-        results: List[SimulationResult] = []
-        traces = self.settings.traces(trace_names)
-        for workload_name in workloads:
-            for trace_name, trace in traces.items():
-                for buffer in self.buffer_factory():
-                    workload = make_workload(workload_name, trace_name)
-                    result = self.run_single(trace, buffer, workload)
-                    results.append(result)
-                    if progress is not None:
-                        progress(result)
-        return results
+        """Run the full evaluation grid through the configured backend."""
+        specs = self.grid_specs(workloads, trace_names)
+        return self.resolved_backend().run_specs(specs, progress=progress)
 
 
 def make_runner(
     settings: ExperimentSettings,
     buffer_factory: Callable[[], List[EnergyBuffer]] = standard_buffers,
 ) -> ExperimentRunner:
-    """The runner the settings ask for: serial, batched, or a process pool.
+    """Deprecated: construct :class:`ExperimentRunner` directly.
 
-    Every table/figure module builds its runner through this factory so the
-    ``--workers`` / ``--batch`` flags (threaded through
-    :class:`ExperimentSettings`) apply to the whole suite.
+    Kept as a shim so CHANGES-era scripts keep working: the returned runner
+    resolves its backend from the settings (``--backend`` wins, else the
+    legacy ``--workers`` / ``--batch`` knobs map onto the equivalent
+    backend, composing to ``pool+batch`` when both are set).
     """
-    if settings.batch and settings.workers > 1:
-        raise ConfigurationError(
-            "batch mode and a worker pool are mutually exclusive "
-            "(pick --batch or --workers)"
-        )
-    if settings.batch:
-        # Imported lazily for symmetry with the parallel runner (both
-        # modules import this one for the shared grid machinery).
-        from repro.experiments.batched import BatchExperimentRunner
-
-        return BatchExperimentRunner(settings, buffer_factory=buffer_factory)
-    if settings.workers > 1:
-        # Imported lazily: parallel.py imports this module for the spec
-        # machinery, so a top-level import would be circular.
-        from repro.experiments.parallel import ParallelExperimentRunner
-
-        return ParallelExperimentRunner(
-            settings, buffer_factory=buffer_factory, workers=settings.workers
-        )
+    warnings.warn(
+        "make_runner() is deprecated; construct ExperimentRunner(settings, ...) "
+        "or call repro.experiments.sweep(...) — execution is selected by "
+        "--backend / ExperimentSettings.backend",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return ExperimentRunner(settings, buffer_factory=buffer_factory)

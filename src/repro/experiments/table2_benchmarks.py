@@ -15,10 +15,8 @@ from typing import Dict, List, Optional
 
 from repro.analysis.aggregate import matrix_from_results, mean_over_traces
 from repro.analysis.formatting import format_matrix
-from repro.experiments.runner import (
-    ExperimentSettings,
-    make_runner,
-)
+from repro.experiments.runner import ExperimentSettings
+from repro.experiments import sweep
 from repro.sim.results import SimulationResult
 
 #: The three benchmarks Table 2 reports (Table 5 covers PF separately).
@@ -28,8 +26,9 @@ TABLE2_WORKLOADS = ("DE", "SC", "RT")
 def run(settings: Optional[ExperimentSettings] = None, verbose: bool = True) -> Dict:
     """Regenerate Table 2; returns matrices of work completed per benchmark."""
     settings = settings or ExperimentSettings()
-    runner = make_runner(settings)
-    results: List[SimulationResult] = runner.run_grid(workloads=TABLE2_WORKLOADS)
+    results: List[SimulationResult] = sweep(
+        workloads=TABLE2_WORKLOADS, settings=settings
+    ).results
 
     per_workload: Dict[str, Dict[str, Dict[str, float]]] = {}
     formatted_sections = []

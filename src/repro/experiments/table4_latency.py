@@ -14,15 +14,15 @@ from typing import Dict, Optional
 
 from repro.analysis.aggregate import matrix_from_results, mean_over_traces
 from repro.analysis.formatting import format_matrix
-from repro.experiments.runner import ExperimentSettings, make_runner
+from repro.experiments.runner import ExperimentSettings
+from repro.experiments import sweep
 
 
 def run(settings: Optional[ExperimentSettings] = None, verbose: bool = True) -> Dict:
     """Regenerate Table 4; returns the latency matrix in seconds."""
     settings = settings or ExperimentSettings()
-    runner = make_runner(settings)
     # Latency is workload-invariant; SC is the cheapest workload to simulate.
-    results = runner.run_grid(workloads=("SC",))
+    results = sweep(workloads=("SC",), settings=settings).results
     matrix = matrix_from_results(results, value="latency")
     means = mean_over_traces(matrix)
     matrix["Mean"] = means

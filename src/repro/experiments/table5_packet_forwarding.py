@@ -14,14 +14,14 @@ from typing import Dict, Optional
 
 from repro.analysis.aggregate import mean_over_traces
 from repro.analysis.formatting import format_matrix
-from repro.experiments.runner import ExperimentSettings, make_runner
+from repro.experiments.runner import ExperimentSettings
+from repro.experiments import sweep
 
 
 def run(settings: Optional[ExperimentSettings] = None, verbose: bool = True) -> Dict:
     """Regenerate Table 5; returns Rx and Tx matrices."""
     settings = settings or ExperimentSettings()
-    runner = make_runner(settings)
-    results = runner.run_grid(workloads=("PF",))
+    results = sweep(workloads=("PF",), settings=settings).results
 
     received: Dict[str, Dict[str, float]] = {}
     transmitted: Dict[str, Dict[str, float]] = {}

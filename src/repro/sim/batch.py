@@ -143,6 +143,28 @@ class BatchSimulator:
                 + " (run them through the scalar Simulator instead)"
             )
 
+    @classmethod
+    def from_settings(
+        cls, systems: Sequence[BatterylessSystem], settings, **overrides
+    ) -> "BatchSimulator":
+        """A simulator for one lane partition at ``settings`` fidelity.
+
+        ``settings`` is anything exposing the experiment-settings timestep
+        surface (``effective_dt_on``, ``effective_dt_off``,
+        ``max_drain_time``, ``fast_forward``) — duck-typed so this layer
+        never imports the experiments package.  This is how the batch-style
+        execution backends turn a partition of grid specs into a lockstep
+        batch; keyword ``overrides`` win over the settings-derived values.
+        """
+        kwargs = dict(
+            dt_on=settings.effective_dt_on,
+            dt_off=settings.effective_dt_off,
+            max_drain_time=settings.max_drain_time,
+            fast_forward=settings.fast_forward,
+        )
+        kwargs.update(overrides)
+        return cls(systems, **kwargs)
+
     def run(self) -> List[SimulationResult]:
         """Simulate every lane to completion; results in input order."""
         started_at = wall_clock.perf_counter()

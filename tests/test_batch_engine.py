@@ -23,13 +23,12 @@ from repro.capacitors.leakage import (
     VoltageProportionalLeakage,
     stack_proportional_leakage,
 )
-from repro.exceptions import ConfigurationError, SimulationError
-from repro.experiments.batched import BatchExperimentRunner
-from repro.experiments.cli import build_parser, main
+from repro.exceptions import SimulationError
+from repro.experiments.backends import BatchBackend, PoolBatchBackend
+from repro.experiments.cli import build_parser
 from repro.experiments.runner import (
     ExperimentRunner,
     ExperimentSettings,
-    make_runner,
     make_workload,
 )
 from repro.harvester.regulator import BoostRegulator, IdealRegulator, Regulator
@@ -431,6 +430,17 @@ class TestBatchSimulatorValidation:
         ]
         assert len(BatchSimulator(systems, **simulator_kwargs()).run()) == 2
 
+    def test_from_settings_threads_fidelity_and_overrides(self):
+        trace = QUICK.trace("RF Cart")
+        systems = [
+            build_system(trace, StaticBuffer(millifarads(10.0)), "DE", "RF Cart")
+        ]
+        simulator = BatchSimulator.from_settings(systems, QUICK, fast_forward=False)
+        assert simulator.dt_on == QUICK.effective_dt_on
+        assert simulator.dt_off == QUICK.effective_dt_off
+        assert simulator.max_drain_time == QUICK.max_drain_time
+        assert simulator.fast_forward is False
+
 
 class TestFullGridEquivalence:
     """The acceptance gate: batched == scalar on the full quick-mode grid."""
@@ -439,9 +449,8 @@ class TestFullGridEquivalence:
         serial = ExperimentRunner(
             QUICK, buffer_factory=static_and_dewdrop_buffers
         ).run_grid()
-        batched = BatchExperimentRunner(
-            ExperimentSettings(quick=True, batch=True),
-            buffer_factory=static_and_dewdrop_buffers,
+        batched = ExperimentRunner(
+            QUICK, buffer_factory=static_and_dewdrop_buffers, backend=BatchBackend()
         ).run_grid()
         assert len(serial) == len(batched) == 4 * 5 * 4  # workloads×traces×buffers
         for ref, got in zip(serial, batched):
@@ -453,9 +462,7 @@ class TestFullGridEquivalence:
             workloads=("SC",), trace_names=("RF Cart",)
         )
         seen = []
-        batched = BatchExperimentRunner(
-            ExperimentSettings(quick=True, batch=True)
-        ).run_grid(
+        batched = ExperimentRunner(QUICK, backend=BatchBackend()).run_grid(
             workloads=("SC",),
             trace_names=("RF Cart",),
             progress=lambda r: seen.append(r.buffer_name),
@@ -469,30 +476,35 @@ class TestFullGridEquivalence:
         serial = ExperimentRunner(QUICK).run_grid(
             workloads=("DE",), trace_names=("RF Cart",)
         )
-        batched = BatchExperimentRunner(
-            ExperimentSettings(quick=True, batch=True), min_lanes=100
+        batched = ExperimentRunner(
+            QUICK, backend=BatchBackend(min_lanes=100)
         ).run_grid(workloads=("DE",), trace_names=("RF Cart",))
         for ref, got in zip(serial, batched):
             assert_results_equivalent(ref, got, exact_ledgers=True)
 
 
-class TestThirdExecutionModeWiring:
-    def test_make_runner_dispatches_on_batch(self):
-        runner = make_runner(ExperimentSettings(quick=True, batch=True))
-        assert isinstance(runner, BatchExperimentRunner)
-        assert type(make_runner(ExperimentSettings(quick=True))) is ExperimentRunner
+class TestBatchedExecutionWiring:
+    def test_settings_resolve_batch_backend(self):
+        settings = ExperimentSettings(quick=True, batch=True)
+        assert settings.backend_name == "batch"
+        backend = ExperimentRunner(settings).resolved_backend()
+        assert isinstance(backend, BatchBackend)
 
-    def test_batch_and_workers_are_mutually_exclusive(self):
-        with pytest.raises(ConfigurationError):
-            make_runner(ExperimentSettings(quick=True, batch=True, workers=4))
+    def test_batch_and_workers_compose_to_pool_batch(self):
+        """The old mutual-exclusion error is gone: the flags compose."""
+        settings = ExperimentSettings(quick=True, batch=True, workers=4)
+        assert settings.backend_name == "pool+batch"
+        backend = ExperimentRunner(settings).resolved_backend()
+        assert isinstance(backend, PoolBatchBackend)
+        assert backend.workers == 4
 
     def test_cli_accepts_batch_flag(self):
         args = build_parser().parse_args(["table2", "--quick", "--batch"])
         assert args.batch and args.quick
 
-    def test_cli_rejects_batch_with_workers(self):
-        with pytest.raises(SystemExit):
-            main(["table2", "--batch", "--workers", "4"])
+    def test_cli_accepts_batch_with_workers(self):
+        args = build_parser().parse_args(["table2", "--batch", "--workers", "4"])
+        assert args.batch and args.workers == 4
 
 
 class TestMidFlightScalarResume:

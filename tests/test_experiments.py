@@ -1,8 +1,12 @@
 """Experiment harness: runner infrastructure, individual artifacts, and the CLI.
 
 The heavier table/figure sweeps are exercised at benchmark time; here the
-cheap experiments run end-to-end in quick mode and the grid runner is
-checked on a reduced subset.
+cheap experiments run end-to-end in quick mode, the grid runner and the
+process-pool backend are checked on a reduced subset, and the deprecation
+shims (``make_runner``, the legacy runner subclasses, ``--workers`` /
+``--batch``) are pinned to the backends they resolve to.  The backend
+registry and the composed ``pool+batch`` backend have their own module
+(``tests/test_backends.py``).
 """
 
 import pickle
@@ -13,12 +17,17 @@ from repro.buffers.morphy import MorphyBuffer
 from repro.buffers.static import StaticBuffer
 from repro.exceptions import ConfigurationError
 from repro.experiments import EXPERIMENTS
-from repro.experiments.cli import build_parser, main
-from repro.experiments.parallel import (
-    ParallelExperimentRunner,
+from repro.experiments.backends import (
+    BatchBackend,
+    PoolBatchBackend,
+    ProcessPoolBackend,
     RunSpec,
+    SerialBackend,
     execute_run_spec,
 )
+from repro.experiments.batched import BatchExperimentRunner
+from repro.experiments.cli import build_parser, main
+from repro.experiments.parallel import ParallelExperimentRunner
 from repro.experiments.runner import (
     BUFFER_ORDER,
     ExperimentRunner,
@@ -71,6 +80,14 @@ class TestSettings:
         traces = settings.traces(["RF Cart", "RF Mobile"])
         assert list(traces) == ["RF Cart", "RF Mobile"]
 
+    def test_backend_name_resolution(self):
+        """Legacy workers/batch knobs map onto the equivalent backend."""
+        assert ExperimentSettings().backend_name == "serial"
+        assert ExperimentSettings(workers=4).backend_name == "pool"
+        assert ExperimentSettings(batch=True).backend_name == "batch"
+        assert ExperimentSettings(batch=True, workers=4).backend_name == "pool+batch"
+        assert ExperimentSettings(backend="serial", workers=4).backend_name == "serial"
+
 
 class TestRunnerInfrastructure:
     def test_standard_buffers_match_paper_order(self):
@@ -100,11 +117,9 @@ class TestRunnerInfrastructure:
         assert seen == [r.buffer_name for r in results]
         assert {r.trace_name for r in results} == {"RF Cart"}
 
-
-class TestParallelRunner:
     def test_grid_specs_match_serial_iteration_order(self):
         settings = ExperimentSettings(quick=True)
-        runner = ParallelExperimentRunner(settings, workers=2)
+        runner = ExperimentRunner(settings)
         specs = runner.grid_specs(workloads=("SC", "DE"), trace_names=("RF Cart",))
         assert len(specs) == 2 * len(BUFFER_ORDER)
         assert [s.workload for s in specs[: len(BUFFER_ORDER)]] == ["SC"] * len(BUFFER_ORDER)
@@ -114,8 +129,9 @@ class TestParallelRunner:
 
     def test_run_specs_are_picklable(self):
         settings = ExperimentSettings(quick=True)
-        runner = ParallelExperimentRunner(settings, workers=2)
-        specs = runner.grid_specs(workloads=("DE",), trace_names=("RF Cart",))
+        specs = ExperimentRunner(settings).grid_specs(
+            workloads=("DE",), trace_names=("RF Cart",)
+        )
         for spec in specs:
             restored = pickle.loads(pickle.dumps(spec))
             assert restored == spec
@@ -136,74 +152,75 @@ class TestParallelRunner:
         assert from_spec.enable_count == direct.enable_count
         assert from_spec.latency == direct.latency
 
-    def test_parallel_grid_equals_serial_grid(self):
+
+class TestProcessPoolBackend:
+    def test_pool_grid_equals_serial_grid(self):
         settings = ExperimentSettings(quick=True)
         serial = ExperimentRunner(settings).run_grid(
             workloads=("DE",), trace_names=("RF Cart", "RF Obstruction")
         )
         seen = []
-        parallel = ParallelExperimentRunner(settings, workers=2).run_grid(
+        pooled = ExperimentRunner(
+            settings, backend=ProcessPoolBackend(workers=2)
+        ).run_grid(
             workloads=("DE",),
             trace_names=("RF Cart", "RF Obstruction"),
             progress=lambda r: seen.append(r.buffer_name),
         )
-        assert [r.buffer_name for r in parallel] == [r.buffer_name for r in serial]
-        assert seen == [r.buffer_name for r in parallel]
-        for serial_result, parallel_result in zip(serial, parallel):
-            assert parallel_result.work_units == serial_result.work_units
-            assert parallel_result.enable_count == serial_result.enable_count
-            assert parallel_result.brownout_count == serial_result.brownout_count
-            assert parallel_result.latency == serial_result.latency
-            assert parallel_result.energy_delivered_to_load == pytest.approx(
+        assert [r.buffer_name for r in pooled] == [r.buffer_name for r in serial]
+        assert seen == [r.buffer_name for r in pooled]
+        for serial_result, pooled_result in zip(serial, pooled):
+            assert pooled_result.work_units == serial_result.work_units
+            assert pooled_result.enable_count == serial_result.enable_count
+            assert pooled_result.brownout_count == serial_result.brownout_count
+            assert pooled_result.latency == serial_result.latency
+            assert pooled_result.energy_delivered_to_load == pytest.approx(
                 serial_result.energy_delivered_to_load, rel=1e-12
             )
 
     def test_workers_one_degrades_to_serial_path(self):
         settings = ExperimentSettings(quick=True)
-        runner = ParallelExperimentRunner(settings, workers=1)
+        runner = ExperimentRunner(settings, backend=ProcessPoolBackend(workers=1))
         results = runner.run_grid(workloads=("SC",), trace_names=("RF Cart",))
         assert len(results) == len(BUFFER_ORDER)
 
     def test_invalid_worker_count_rejected(self):
         with pytest.raises(ConfigurationError):
-            ParallelExperimentRunner(ExperimentSettings(quick=True), workers=0)
+            ProcessPoolBackend(workers=0)
+        with pytest.raises(ConfigurationError):
+            PoolBatchBackend(workers=0)
 
     def test_workers_one_uses_no_pool(self, monkeypatch):
         """The degenerate workers=1 pool must never be constructed."""
-        import repro.experiments.parallel as parallel_module
+        import repro.experiments.backends as backends_module
 
         def forbidden(*args, **kwargs):  # pragma: no cover - failure path
             raise AssertionError("workers=1 must not build a process pool")
 
-        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor", forbidden)
-        runner = ParallelExperimentRunner(ExperimentSettings(quick=True), workers=1)
+        monkeypatch.setattr(backends_module, "ProcessPoolExecutor", forbidden)
+        runner = ExperimentRunner(
+            ExperimentSettings(quick=True), backend=ProcessPoolBackend(workers=1)
+        )
         results = runner.run_grid(workloads=("DE",), trace_names=("RF Cart",))
         assert len(results) == len(BUFFER_ORDER)
 
     def test_single_cell_grid_skips_pool_even_with_workers(self, monkeypatch):
-        import repro.experiments.parallel as parallel_module
+        import repro.experiments.backends as backends_module
 
         def forbidden(*args, **kwargs):  # pragma: no cover - failure path
             raise AssertionError("single-cell grids must run serial")
 
-        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor", forbidden)
-        runner = ParallelExperimentRunner(
+        monkeypatch.setattr(backends_module, "ProcessPoolExecutor", forbidden)
+        runner = ExperimentRunner(
             ExperimentSettings(quick=True),
             buffer_factory=lambda: [StaticBuffer(microfarads(770.0), name="770 uF")],
-            workers=4,
+            backend=ProcessPoolBackend(workers=4),
         )
         results = runner.run_grid(workloads=("DE",), trace_names=("RF Cart",))
         assert [r.buffer_name for r in results] == ["770 uF"]
 
     def test_child_exception_propagates(self):
         """A run spec that raises in the worker surfaces in the parent."""
-        runner = ParallelExperimentRunner(
-            ExperimentSettings(quick=True),
-            buffer_factory=exploding_buffers,
-            workers=2,
-        )
-        # grid_specs calls the factory in the parent for the buffer count;
-        # hand-build the specs so the failure happens inside the pool.
         specs = [
             RunSpec(
                 workload="DE",
@@ -214,16 +231,16 @@ class TestParallelRunner:
             )
             for trace_name in ("RF Cart", "RF Obstruction")
         ]
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=2) as pool:
-            futures = [pool.submit(execute_run_spec, spec) for spec in specs]
-            with pytest.raises(ConfigurationError, match="exploded in the worker"):
-                for future in futures:
-                    future.result()
+        with pytest.raises(ConfigurationError, match="exploded in the worker"):
+            ProcessPoolBackend(workers=2).run_specs(specs)
         # And end-to-end through run_grid (the factory raises in the parent
         # during spec construction or in the child — either way it must not
         # hang and must surface the original exception type).
+        runner = ExperimentRunner(
+            ExperimentSettings(quick=True),
+            buffer_factory=exploding_buffers,
+            backend=ProcessPoolBackend(workers=2),
+        )
         with pytest.raises(ConfigurationError, match="exploded"):
             runner.run_grid(workloads=("DE",), trace_names=("RF Cart",))
 
@@ -234,8 +251,10 @@ class TestParallelRunner:
             settings, buffer_factory=slow_then_fast_buffers
         ).run_grid(workloads=("DE",), trace_names=("RF Cart",))
         seen = []
-        parallel = ParallelExperimentRunner(
-            settings, buffer_factory=slow_then_fast_buffers, workers=2
+        pooled = ExperimentRunner(
+            settings,
+            buffer_factory=slow_then_fast_buffers,
+            backend=ProcessPoolBackend(workers=2),
         ).run_grid(
             workloads=("DE",),
             trace_names=("RF Cart",),
@@ -243,18 +262,60 @@ class TestParallelRunner:
         )
         # Morphy (slow) first, static (fast) second — completion order is
         # reversed, collection order must not be.
-        assert [r.buffer_name for r in parallel] == ["Morphy", "770 uF"]
+        assert [r.buffer_name for r in pooled] == ["Morphy", "770 uF"]
         assert seen == ["Morphy", "770 uF"]
-        for serial_result, parallel_result in zip(serial, parallel):
-            assert parallel_result.work_units == serial_result.work_units
-            assert parallel_result.latency == serial_result.latency
+        for serial_result, pooled_result in zip(serial, pooled):
+            assert pooled_result.work_units == serial_result.work_units
+            assert pooled_result.latency == serial_result.latency
 
-    def test_make_runner_dispatches_on_workers(self):
-        serial = make_runner(ExperimentSettings(quick=True))
-        assert type(serial) is ExperimentRunner
-        parallel = make_runner(ExperimentSettings(quick=True, workers=4))
-        assert isinstance(parallel, ParallelExperimentRunner)
-        assert parallel.workers == 4
+
+class TestDeprecationShims:
+    """`make_runner`, the legacy runner subclasses, and the flags they map to."""
+
+    def test_make_runner_warns_and_maps_workers_to_pool(self):
+        with pytest.warns(DeprecationWarning, match="make_runner"):
+            runner = make_runner(ExperimentSettings(quick=True, workers=4))
+        assert type(runner) is ExperimentRunner
+        backend = runner.resolved_backend()
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.workers == 4
+
+    def test_make_runner_maps_default_to_serial(self):
+        with pytest.warns(DeprecationWarning):
+            runner = make_runner(ExperimentSettings(quick=True))
+        assert isinstance(runner.resolved_backend(), SerialBackend)
+
+    def test_make_runner_maps_batch_to_batch_backend(self):
+        with pytest.warns(DeprecationWarning):
+            runner = make_runner(ExperimentSettings(quick=True, batch=True))
+        assert isinstance(runner.resolved_backend(), BatchBackend)
+
+    def test_make_runner_composes_batch_and_workers(self):
+        """The old mutual-exclusion error is gone: the two flags compose."""
+        with pytest.warns(DeprecationWarning):
+            runner = make_runner(ExperimentSettings(quick=True, batch=True, workers=4))
+        backend = runner.resolved_backend()
+        assert isinstance(backend, PoolBatchBackend)
+        assert backend.workers == 4
+
+    def test_parallel_runner_shim_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="ParallelExperimentRunner"):
+            runner = ParallelExperimentRunner(ExperimentSettings(quick=True), workers=2)
+        assert isinstance(runner.backend, ProcessPoolBackend)
+        assert runner.backend.workers == 2
+        results = runner.run_grid(workloads=("DE",), trace_names=("RF Cart",))
+        assert len(results) == len(BUFFER_ORDER)
+
+    def test_parallel_runner_shim_rejects_invalid_workers(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigurationError):
+                ParallelExperimentRunner(ExperimentSettings(quick=True), workers=0)
+
+    def test_batch_runner_shim_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="BatchExperimentRunner"):
+            runner = BatchExperimentRunner(ExperimentSettings(quick=True), min_lanes=9)
+        assert isinstance(runner.backend, BatchBackend)
+        assert runner.backend.min_lanes == 9
 
 
 class TestCheapExperiments:
@@ -291,11 +352,34 @@ class TestCli:
         args = parser.parse_args(["table1", "--quick"])
         assert args.experiment == "table1"
         assert args.quick
-        assert args.workers == 1
+        assert args.workers is None
+        assert args.backend is None
 
     def test_parser_accepts_workers_flag(self):
         args = build_parser().parse_args(["table2", "--quick", "--workers", "4"])
         assert args.workers == 4
+
+    def test_parser_accepts_backend_flag(self):
+        args = build_parser().parse_args(["table2", "--backend", "pool+batch"])
+        assert args.backend == "pool+batch"
+
+    def test_parser_rejects_unknown_backend_listing_choices(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table2", "--backend", "quantum"])
+        captured = capsys.readouterr()
+        assert "pool+batch" in captured.err and "serial" in captured.err
+
+    def test_batch_and_workers_compose_instead_of_erroring(self):
+        args = build_parser().parse_args(["table2", "--batch", "--workers", "4"])
+        assert args.batch and args.workers == 4
+        settings = ExperimentSettings(batch=args.batch, workers=args.workers)
+        assert settings.backend_name == "pool+batch"
+
+    def test_legacy_flags_warn_deprecation(self):
+        with pytest.warns(DeprecationWarning, match="--backend batch"):
+            main(["list", "--batch"])
+        with pytest.warns(DeprecationWarning, match="--backend pool"):
+            main(["list", "--workers", "2"])
 
     def test_parser_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
