@@ -2,11 +2,14 @@
 
 Times the quick-mode grid sweep across the execution backends — step-by-step
 serial (the seed's execution model), fast-path serial, a 4-worker process
-pool, the vectorized lockstep batch, and the composed ``pool+batch``
-backend — and records the throughput ratios in the benchmark JSON so the
-perf trajectory tracks sweep speed alongside the per-artifact numbers.
-Grids are driven through the same public :func:`repro.experiments.sweep`
-surface the table/figure modules use.
+pool, the vectorized lockstep batch (static and Morphy kernels), and the
+composed ``pool+batch`` backend — and records the throughput ratios both in
+the pytest-benchmark JSON and in the stable, on-repo
+``benchmarks/BENCH_sweep.json`` (via
+:func:`benchmarks.conftest.record_sweep_metrics`) so the perf trajectory
+tracks sweep speed alongside the per-artifact numbers.  Grids are driven
+through the same public :func:`repro.experiments.sweep` surface the
+table/figure modules use.
 
 Correctness assertions, not timing assertions, gate the tests: every
 backend must return the same results in the same order as the serial
@@ -24,7 +27,8 @@ import time
 
 import numpy as np
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import record_sweep_metrics, run_once
+from repro.buffers.morphy import MorphyBuffer
 from repro.buffers.static import StaticBuffer
 from repro.experiments.backends import (
     BatchBackend,
@@ -52,6 +56,26 @@ def capacitance_sweep_buffers():
     return [
         StaticBuffer(millifarads(float(size)), name=f"{size:.2f} mF")
         for size in BATCH_SWEEP_SIZES_MF
+    ]
+
+
+#: The Morphy sweep: the heaviest cells of every grid.  All variants share
+#: the default eight-capacitor topology (one lockstep kernel) and sweep the
+#: unit capacitance, the Figure-1-style exploration for the reconfigurable
+#: array.  Morphy cells cost several times a static cell, so the sweep is
+#: narrower than the static one but still packs 48 lanes into each trace's
+#: kernel.
+MORPHY_SWEEP_SIZES_MF = np.geomspace(0.5, 4.0, 24)
+MORPHY_SWEEP_TRACES = ("RF Cart",)
+
+
+def morphy_sweep_buffers():
+    """Module-level factory: one Morphy array per swept unit capacitance."""
+    return [
+        MorphyBuffer(
+            unit_capacitance=millifarads(float(size)), name=f"Morphy {size:.3f} mF"
+        )
+        for size in MORPHY_SWEEP_SIZES_MF
     ]
 
 
@@ -103,6 +127,7 @@ def test_bench_grid_sweep_serial_vs_parallel(benchmark, bench_settings):
     benchmark.extra_info["parallel_speedup_vs_fast_serial"] = round(
         serial_seconds / parallel_seconds, 3
     )
+    record_sweep_metrics("grid_sweep", benchmark.extra_info)
 
 
 def _assert_sweep_matches_serial(serial, candidate):
@@ -185,6 +210,75 @@ def test_bench_batched_capacitance_sweep(benchmark, bench_settings):
     benchmark.extra_info["pool_batch_speedup_vs_batched"] = round(
         batched_seconds / pool_batch_seconds, 3
     )
+    record_sweep_metrics("batched_capacitance_sweep", benchmark.extra_info)
     assert speedup >= 1.5, (
         f"batched sweep should be well above serial throughput, got {speedup:.2f}x"
+    )
+
+
+def test_bench_morphy_batched_sweep(benchmark, bench_settings):
+    """Batched lockstep sweep of the heaviest grid cells: the Morphy lanes.
+
+    Every (unit-capacitance × workload) Morphy cell of a trace shares one
+    :class:`~repro.buffers.morphy_batch.MorphyBatchKernel`, so the batch
+    backend packs the trace's 48 lanes into a single vectorized run and the
+    ``pool+batch`` backend shards them across workers.  Correctness gates
+    the test — both grids must agree with the serial grid exactly on every
+    counter — and the single-core batched speedup is recorded and asserted
+    at a conservative floor (locally ~2–2.5×; Morphy's per-step scalar
+    Python is heavier than a static's, so the lockstep win is on top of an
+    already slower baseline).
+    """
+    serial_runner = ExperimentRunner(
+        bench_settings, buffer_factory=morphy_sweep_buffers
+    )
+    batch_runner = ExperimentRunner(
+        bench_settings,
+        buffer_factory=morphy_sweep_buffers,
+        backend=BatchBackend(),
+    )
+
+    started = time.perf_counter()
+    serial = serial_runner.run_grid(
+        workloads=SWEEP_WORKLOADS, trace_names=MORPHY_SWEEP_TRACES
+    )
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batched = run_once(
+        benchmark,
+        batch_runner.run_grid,
+        workloads=SWEEP_WORKLOADS,
+        trace_names=MORPHY_SWEEP_TRACES,
+    )
+    batched_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    pool_batch = sweep(
+        workloads=SWEEP_WORKLOADS,
+        trace_names=MORPHY_SWEEP_TRACES,
+        settings=bench_settings,
+        buffer_factory=morphy_sweep_buffers,
+        backend=PoolBatchBackend(workers=4),
+    ).results
+    pool_batch_seconds = time.perf_counter() - started
+
+    _assert_sweep_matches_serial(serial, batched)
+    _assert_sweep_matches_serial(serial, pool_batch)
+
+    speedup = serial_seconds / batched_seconds
+    benchmark.extra_info["grid_cells"] = len(serial)
+    benchmark.extra_info["lanes_per_trace"] = len(MORPHY_SWEEP_SIZES_MF) * len(
+        SWEEP_WORKLOADS
+    )
+    benchmark.extra_info["serial_seconds"] = round(serial_seconds, 3)
+    benchmark.extra_info["batched_seconds"] = round(batched_seconds, 3)
+    benchmark.extra_info["batched_speedup_vs_serial"] = round(speedup, 3)
+    benchmark.extra_info["pool_batch_workers4_seconds"] = round(pool_batch_seconds, 3)
+    benchmark.extra_info["pool_batch_speedup_vs_serial"] = round(
+        serial_seconds / pool_batch_seconds, 3
+    )
+    record_sweep_metrics("morphy_batched_sweep", benchmark.extra_info)
+    assert speedup >= 1.4, (
+        f"batched Morphy sweep should beat serial throughput, got {speedup:.2f}x"
     )

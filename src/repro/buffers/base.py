@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Hashable, Optional, Tuple
 
 
 @dataclass
@@ -127,18 +127,27 @@ class EnergyBuffer(ABC):
 
     # -- multi-system batching ------------------------------------------------
 
-    def can_batch(self) -> bool:
-        """Whether a :class:`~repro.sim.batch.BatchSimulator` lane can host this buffer.
+    def batch_key(self) -> Optional[Hashable]:
+        """Lockstep-compatibility key for batched execution, or None.
 
         Batched execution replays the exact per-step ``harvest`` / ``draw`` /
         ``housekeeping`` arithmetic of the scalar engine across many systems
         through shared numpy state arrays, so it is only available to buffer
-        architectures that export a vectorized kernel (see
-        :meth:`~repro.buffers.static.StaticBuffer.can_batch`).  Architectures
-        without one return False here and the experiment layer falls back to
-        the scalar engine for their lanes.
+        architectures that export a vectorized kernel.  Lanes whose keys
+        compare equal (and that share a power trace) can run inside one
+        kernel instance of a :class:`~repro.sim.batch.BatchSimulator`; the
+        experiment layer partitions grid cells on this key.  ``None`` means
+        no batched kernel exists for this buffer and its lanes fall back to
+        the scalar engine (see
+        :meth:`~repro.buffers.static.StaticBuffer.batch_key` and
+        :meth:`~repro.buffers.morphy.MorphyBuffer.batch_key` for the
+        in-tree kernels).
         """
-        return False
+        return None
+
+    def can_batch(self) -> bool:
+        """Whether a :class:`~repro.sim.batch.BatchSimulator` lane can host this buffer."""
+        return self.batch_key() is not None
 
     # -- off-phase fast forwarding --------------------------------------------
 

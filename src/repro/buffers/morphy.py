@@ -40,14 +40,18 @@ ablation) measures.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.buffers.base import EnergyBuffer
 from repro.buffers.static import DEFAULT_LEAKAGE_PER_FARAD
-from repro.capacitors.leakage import VoltageProportionalLeakage
+from repro.capacitors.leakage import (
+    VoltageProportionalLeakage,
+    stack_proportional_leakage,
+)
 from repro.exceptions import ConfigurationError
-from repro.units import capacitor_energy, millifarads
+from repro.units import capacitor_energy, millifarads, next_grid_time
 
 
 @dataclass(frozen=True)
@@ -177,6 +181,14 @@ class MorphyBuffer(EnergyBuffer):
     """A software-defined charge-storage array with lossy reconfiguration."""
 
     supports_longevity = True
+
+    #: Whether this class's energy-flow hooks are exactly the per-capacitor
+    #: recurrence :class:`~repro.buffers.morphy_batch.MorphyBatchKernel`
+    #: vectorizes.  Subclasses overriding ``harvest`` / ``draw`` /
+    #: ``housekeeping`` / ``reconfigure`` / ``_shift_output_voltage`` /
+    #: ``overhead_current`` with different dynamics must set this False so
+    #: their lanes fall back to the scalar engine.
+    batch_exact = True
 
     def __init__(
         self,
@@ -317,13 +329,37 @@ class MorphyBuffer(EnergyBuffer):
         if self.output_voltage >= voltage:
             return True
         minimum_capacitance = self.table.capacitance_range[0]
-        best_voltage = (2.0 * self.stored_energy / minimum_capacitance) ** 0.5
+        best_voltage = math.sqrt(2.0 * self.stored_energy / minimum_capacitance)
         return best_voltage >= voltage
 
     def snapshot(self) -> Dict[str, float]:
         snapshot = super().snapshot()
         snapshot["configuration_level"] = float(self.level)
         return snapshot
+
+    # -- multi-system batching ---------------------------------------------------------
+
+    def batch_key(self) -> Optional[Hashable]:
+        """Lockstep-compatibility key for the Morphy batch kernel.
+
+        Lanes can share one :class:`~repro.buffers.morphy_batch.MorphyBatchKernel`
+        when their switch topology is identical — same capacitor count and
+        the same (groups, across) structure at every level — because the
+        kernel vectorizes per-capacitor updates over a uniform
+        ``(lanes, cap_count)`` array.  Everything scalar (unit capacitance,
+        thresholds, poll rate, network efficiency, leakage parameters) may
+        differ per lane.  Requires the class to vouch for its hooks
+        (:attr:`batch_exact`) and a leakage model the kernel can stack into
+        closed form.
+        """
+        if not self.batch_exact:
+            return None
+        if stack_proportional_leakage([self.leakage]) is None:
+            return None
+        topology = tuple(
+            (config.groups, config.across) for config in self.table.configurations
+        )
+        return ("morphy", self.cap_count, topology)
 
     # -- off-phase fast forwarding ----------------------------------------------------
 
@@ -345,7 +381,7 @@ class MorphyBuffer(EnergyBuffer):
             capacitance, voltage
         )
         stored = min(usable, max(0.0, headroom))
-        return (voltage * voltage + 2.0 * stored / capacitance) ** 0.5
+        return math.sqrt(voltage * voltage + 2.0 * stored / capacitance)
 
     # -- energy flow -----------------------------------------------------------------------
 
@@ -354,19 +390,33 @@ class MorphyBuffer(EnergyBuffer):
         if energy <= 0.0:
             return 0.0
         usable_input = energy * self.network_efficiency
-        self.ledger.switching_loss += energy - usable_input
         capacitance = self._level_capacitance[self.level]
         voltage = self.output_voltage
         headroom = (
             0.5 * capacitance * self.max_voltage * self.max_voltage
             - 0.5 * capacitance * voltage * voltage
         )
-        stored = min(usable_input, max(0.0, headroom))
+        capped = max(0.0, headroom)
+        # Conduction loss is charged only on the energy that actually
+        # crosses the switch fabric: when the array is full, the clipped
+        # surplus is burned off before the network (the statics' clipping
+        # convention), so ``offered == stored + clipped + switching_loss``
+        # decomposes consistently across architectures.
+        if usable_input <= capped:
+            stored = usable_input
+            switching = energy - usable_input
+            clipped = 0.0
+        else:
+            stored = capped
+            crossing = stored / self.network_efficiency
+            switching = crossing - stored
+            clipped = energy - crossing
         if stored > 0.0:
-            new_output = (voltage**2 + 2.0 * stored / capacitance) ** 0.5
+            new_output = math.sqrt(voltage * voltage + 2.0 * stored / capacitance)
             self._shift_output_voltage(new_output - voltage)
         self.ledger.stored += stored
-        self.ledger.clipped += usable_input - stored
+        self.ledger.switching_loss += switching
+        self.ledger.clipped += clipped
         return stored
 
     def draw(self, current: float, dt: float) -> float:
@@ -394,7 +444,12 @@ class MorphyBuffer(EnergyBuffer):
         # paper uses a USB-supplied MSP430), so reconfiguration decisions do
         # not require the main platform to be awake.
         if time >= self._next_poll_time:
-            self._next_poll_time = time + self.poll_period
+            # Snap to the poll-period grid rather than ``time +
+            # poll_period``: the latter stretches every interval by the
+            # step's overshoot, so the 10 Hz controller drifts off its
+            # hardware clock and the poll schedule becomes a function of
+            # the simulation step size.
+            self._next_poll_time = next_grid_time(time, self.poll_period)
             self._poll()
 
     # -- controller policy --------------------------------------------------------------------

@@ -9,6 +9,7 @@ cost) are charged against the system.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Optional
 
 from repro.buffers.base import EnergyBuffer
@@ -115,7 +116,7 @@ class ReactBuffer(EnergyBuffer):
             return self.output_voltage
         voltage = self.hardware.output_voltage
         capacitance = self.hardware.last_level.capacitance
-        return (voltage * voltage + 2.0 * energy / capacitance) ** 0.5
+        return math.sqrt(voltage * voltage + 2.0 * energy / capacitance)
 
     # -- energy flow ----------------------------------------------------------------
 

@@ -136,17 +136,21 @@ class StaticBuffer(EnergyBuffer):
 
     # -- multi-system batching -------------------------------------------------------
 
-    def can_batch(self) -> bool:
-        """True when this buffer's dynamics vectorize exactly.
+    def batch_key(self) -> Optional[str]:
+        """``"static"`` when this buffer's dynamics vectorize exactly.
 
         Requires the class to vouch for its hooks (:attr:`batch_exact`) and
         the leakage model to be one the capacitor layer can stack into
-        closed-form arrays.
+        closed-form arrays.  All static lanes share one key — the
+        :class:`StaticBatchKernel` handles heterogeneous capacitances and
+        leakage parameters per lane.
         """
-        return (
+        if (
             self.batch_exact
             and stack_proportional_leakage([self._capacitor.leakage]) is not None
-        )
+        ):
+            return "static"
+        return None
 
     # -- off-phase fast forwarding ---------------------------------------------------
 
@@ -304,8 +308,13 @@ class StaticBatchKernel:
         """Vectorized :meth:`StaticBuffer.draw` for one lockstep step."""
         self.caps.discharge_current(current, dt)
 
-    def housekeeping(self, dt: np.ndarray) -> None:
-        """Vectorized :meth:`StaticBuffer.housekeeping` (leakage only)."""
+    def housekeeping(self, time: np.ndarray, dt: np.ndarray) -> None:
+        """Vectorized :meth:`StaticBuffer.housekeeping` (leakage only).
+
+        ``time`` is part of the shared kernel interface (the Morphy kernel
+        schedules its 10 Hz controller poll off it); a static capacitor has
+        no controller, so only leakage applies here.
+        """
         self.caps.apply_leakage(dt)
 
     def drained_mask(self, enable_voltage: np.ndarray) -> np.ndarray:

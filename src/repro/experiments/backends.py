@@ -13,14 +13,15 @@ matter how execution is scheduled.  Four backends ship in-tree:
     Fans specs over a :class:`~concurrent.futures.ProcessPoolExecutor`;
     each worker rebuilds its cell from the spec.
 ``batch``
-    Packs every trace's batchable specs into one vectorized
-    :class:`~repro.sim.batch.BatchSimulator` lockstep run; the rest fall
-    back to the scalar engine, lane by lane.
+    Packs each trace's batchable specs into vectorized
+    :class:`~repro.sim.batch.BatchSimulator` lockstep runs — one per
+    lockstep kernel (static lanes together, each Morphy topology
+    together); the rest fall back to the scalar engine, lane by lane.
 ``pool+batch``
-    Composes both: trace-sharing lanes are partitioned into shards, each
-    worker process runs a :class:`BatchSimulator` over its shard, and
-    unbatchable cells ride the same pool as scalar jobs — the process-pool
-    speedup multiplied by the lockstep speedup.
+    Composes both: each (trace, kernel) lane group is partitioned into
+    shards, each worker process runs a :class:`BatchSimulator` over its
+    shard, and unbatchable cells ride the same pool as scalar jobs — the
+    process-pool speedup multiplied by the lockstep speedup.
 
 Backends are looked up by name in a string-keyed registry
 (:func:`register_backend` / :func:`resolve_backend`), so a future remote or
@@ -30,8 +31,11 @@ factory under a new name and ``--backend <name>`` reaches it.
 Grouping metadata travels on the specs themselves: ``RunSpec.trace_name``
 (together with the spec's settings, which fix the trace's fidelity) is the
 lane-grouping key — every spec mapping to the same key replays the same
-power trace and may share one lockstep batch.  :func:`trace_groups` derives
-the grouping any batch-style backend needs.
+power trace and may share one lockstep batch, subject to the buffers'
+kernel compatibility
+(:meth:`~repro.buffers.base.EnergyBuffer.batch_key`).  :func:`trace_groups`
+derives the trace grouping and :func:`partition_batchable` refines it into
+the per-kernel lane groups any batch-style backend needs.
 """
 
 from __future__ import annotations
@@ -42,6 +46,7 @@ from dataclasses import dataclass
 from typing import (
     Callable,
     Dict,
+    Hashable,
     List,
     Optional,
     Protocol,
@@ -172,7 +177,7 @@ class _BufferSupply:
     instances index-by-index from stacked factory outputs instead of
     building the full list once per lane: the factory runs as many times as
     the highest per-index demand (the workload count, for grid-shaped
-    groups), not once per lane.  ``can_batch`` flags are per-index
+    groups), not once per lane.  ``batch_key`` values are per-index
     configuration, identical across instances, so one factory output
     answers them for every spec sharing the factory.
     """
@@ -180,19 +185,19 @@ class _BufferSupply:
     def __init__(self, factory: Callable[[], List[EnergyBuffer]]) -> None:
         self._factory = factory
         self._stacks: Dict[int, List[EnergyBuffer]] = {}
-        self._can_batch: Optional[List[bool]] = None
+        self._batch_keys: Optional[List[Optional[Hashable]]] = None
 
     def _replenish(self) -> None:
         fresh = self._factory()
-        if self._can_batch is None:
-            self._can_batch = [buffer.can_batch() for buffer in fresh]
+        if self._batch_keys is None:
+            self._batch_keys = [buffer.batch_key() for buffer in fresh]
         for index, buffer in enumerate(fresh):
             self._stacks.setdefault(index, []).append(buffer)
 
-    def can_batch(self, index: int) -> bool:
-        if self._can_batch is None:
+    def batch_key(self, index: int) -> Optional[Hashable]:
+        if self._batch_keys is None:
             self._replenish()
-        return self._can_batch[index]
+        return self._batch_keys[index]
 
     def take(self, index: int) -> EnergyBuffer:
         """A fresh, never-used buffer instance for ``index``."""
@@ -214,29 +219,32 @@ def partition_batchable(
     specs: Sequence[RunSpec],
     supplies: Optional[Dict[Callable[[], List[EnergyBuffer]], _BufferSupply]] = None,
 ) -> Tuple[List[List[int]], List[int]]:
-    """Spec indices split into per-trace batchable lane groups and the rest.
+    """Spec indices split into batchable lane groups and the rest.
 
     The single source of truth both batch-style backends partition with, so
-    they can never disagree on which cells batch.  Returns ``(lane_groups,
-    singles)``: one index list per trace group containing its batchable
-    specs (spec order preserved), plus every unbatchable spec.  Pass
-    ``supplies`` to keep drawing lane buffers from the same factory outputs
-    used for the ``can_batch`` checks.
+    they can never disagree on which cells batch.  Within each trace group,
+    specs are further keyed on their buffer's
+    :meth:`~repro.buffers.base.EnergyBuffer.batch_key` — a lockstep batch
+    needs one kernel over every lane, so static-kernel lanes and (per
+    topology) Morphy-kernel lanes form separate groups.  Returns
+    ``(lane_groups, singles)``: one index list per (trace, kernel) group
+    (spec order preserved), plus every unbatchable spec.  Pass ``supplies``
+    to keep drawing lane buffers from the same factory outputs used for the
+    ``batch_key`` checks.
     """
     if supplies is None:
         supplies = {}
     lane_groups: List[List[int]] = []
     singles: List[int] = []
     for indices in trace_groups(specs).values():
-        batchable = [
-            i
-            for i in indices
-            if _supply_for(supplies, specs[i]).can_batch(specs[i].buffer_index)
-        ]
-        batchable_set = set(batchable)
-        singles.extend(i for i in indices if i not in batchable_set)
-        if batchable:
-            lane_groups.append(batchable)
+        by_kernel: Dict[Hashable, List[int]] = {}
+        for i in indices:
+            key = _supply_for(supplies, specs[i]).batch_key(specs[i].buffer_index)
+            if key is None:
+                singles.append(i)
+            else:
+                by_kernel.setdefault(key, []).append(i)
+        lane_groups.extend(by_kernel.values())
     return lane_groups, singles
 
 
@@ -352,7 +360,9 @@ class BatchBackend:
                 continue  # the sweep below runs these cells scalar
             first = specs[group[0]]
             settings = first.settings
-            trace = traces[first.group_key] = settings.trace(first.trace_name)
+            trace = traces.get(first.group_key)
+            if trace is None:
+                trace = traces[first.group_key] = settings.trace(first.trace_name)
             lane_systems = [
                 BatterylessSystem.build(
                     trace,
@@ -399,10 +409,11 @@ class PoolBatchBackend:
     each group is split into contiguous shards (so every worker gets a wide
     lane block rather than single cells), and each shard runs one
     :class:`~repro.sim.batch.BatchSimulator` in its worker process.
-    Unbatchable specs (Morphy, REACT) ride the same pool as individual
-    scalar jobs — which the plain batch backend runs serially — so this
-    backend stacks both speedups and also parallelizes the scalar
-    remainder.
+    Unbatchable specs (REACT is the only paper-grid buffer without a
+    lockstep kernel; the Capybara extension also lacks one) ride the same
+    pool as individual scalar jobs — which the plain batch backend runs
+    serially — so this backend stacks both speedups and also parallelizes
+    the scalar remainder.
 
     Lane arithmetic is elementwise, so a lane's counters are independent of
     which shard it lands in; sharding changes throughput, never results.
@@ -426,13 +437,23 @@ class PoolBatchBackend:
             return BatchBackend(min_lanes=self.min_lanes).run_specs(specs, progress)
 
         lane_groups, singles = partition_batchable(specs)
+        # Groups too narrow to ever batch (below min_lanes) would just run
+        # scalar — and serially — inside one worker's shard; fanning them
+        # over the pool as independent scalar jobs parallelizes them
+        # instead (they are often the heaviest cells).
+        wide_groups: List[List[int]] = []
+        for group in lane_groups:
+            if len(group) >= self.min_lanes:
+                wide_groups.append(group)
+            else:
+                singles.extend(group)
 
-        # Split each trace's lanes so the shard count reaches the pool
+        # Split each lane group so the shard count reaches the pool
         # width, but never below min_lanes per shard (a narrower shard
         # would just run scalar inside the worker).
         shards: List[List[int]] = []
-        chunks_per_group = max(1, self.workers // max(1, len(lane_groups)))
-        for group in lane_groups:
+        chunks_per_group = max(1, self.workers // max(1, len(wide_groups)))
+        for group in wide_groups:
             chunks = min(chunks_per_group, max(1, len(group) // self.min_lanes))
             shards.extend(_split_evenly(group, chunks))
 

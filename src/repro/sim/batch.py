@@ -57,6 +57,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.buffers.morphy_batch import MorphyBatchKernel
 from repro.buffers.static import StaticBatchKernel
 from repro.exceptions import SimulationError
 from repro.platform.mcu import PowerMode
@@ -69,6 +70,22 @@ from repro.workloads.base import StepContext
 #: lanes to the scalar engine (see ``BatchSimulator.scalar_tail_lanes``).
 DEFAULT_SCALAR_TAIL_LANES = 4
 
+#: The in-tree lockstep kernels, tried in order.  Each ``build`` returns a
+#: kernel when *every* lane's buffer fits its vectorized recurrence, else
+#: None; lanes of different kernel families never share a batch (the
+#: experiment layer partitions on
+#: :meth:`~repro.buffers.base.EnergyBuffer.batch_key` before building one).
+KERNEL_BUILDERS = (StaticBatchKernel.build, MorphyBatchKernel.build)
+
+
+def build_batch_kernel(buffers):
+    """The first kernel that accepts every buffer in ``buffers``, or None."""
+    for builder in KERNEL_BUILDERS:
+        kernel = builder(buffers)
+        if kernel is not None:
+            return kernel
+    return None
+
 
 class BatchSimulator:
     """Lockstep simulator for N systems sharing one power trace.
@@ -76,8 +93,9 @@ class BatchSimulator:
     Parameters mirror :class:`~repro.sim.engine.Simulator`; every lane uses
     the same timestep policy and drain methodology.  All systems must share
     the same trace and an identical regulator model, and every buffer must
-    support batched execution (:meth:`~repro.buffers.base.EnergyBuffer.can_batch`);
-    callers route other lanes to the scalar engine.
+    fit one lockstep kernel (equal, non-None
+    :meth:`~repro.buffers.base.EnergyBuffer.batch_key`); callers route
+    other lanes to the scalar engine.
     """
 
     def __init__(
@@ -132,15 +150,21 @@ class BatchSimulator:
                 frontend.regulator != reference.regulator
             ):
                 raise SimulationError("batched systems must share one regulator model")
-        self._kernel = StaticBatchKernel.build([s.buffer for s in self.systems])
+        self._kernel = build_batch_kernel([s.buffer for s in self.systems])
         if self._kernel is None:
             unbatchable = [
                 s.buffer.name for s in self.systems if not s.buffer.can_batch()
             ]
+            if unbatchable:
+                raise SimulationError(
+                    "buffers without a batched kernel: "
+                    + ", ".join(unbatchable)
+                    + " (run them through the scalar Simulator instead)"
+                )
             raise SimulationError(
-                "buffers without a batched kernel: "
-                + ", ".join(unbatchable or ["<unknown>"])
-                + " (run them through the scalar Simulator instead)"
+                "batched buffers with incompatible kernels in one batch: "
+                + ", ".join(sorted({str(s.buffer.batch_key()) for s in self.systems}))
+                + " (partition lanes by EnergyBuffer.batch_key first)"
             )
 
     @classmethod
@@ -543,8 +567,8 @@ class BatchSimulator:
                 load = off_load
             kernel.draw(load, dt)
 
-            # -- 4. buffer housekeeping (leakage) --
-            kernel.housekeeping(dt)
+            # -- 4. buffer housekeeping (leakage + controller polling) --
+            kernel.housekeeping(time, dt)
 
             time = end_time
             iterations += 1

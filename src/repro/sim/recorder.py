@@ -18,11 +18,12 @@ yields a uniformly sampled timeline.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List
 
 import numpy as np
+
+from repro.units import next_grid_time
 
 
 @dataclass(frozen=True)
@@ -81,9 +82,7 @@ class Recorder:
         """
         if time < self._next_record_time:
             return
-        self._next_record_time = (
-            math.floor(time / self.record_period) + 1.0
-        ) * self.record_period
+        self._next_record_time = next_grid_time(time, self.record_period)
         self.points.append(
             TimelinePoint(
                 time=time,

@@ -8,6 +8,8 @@ microamps) without sprinkling powers of ten through the codebase.
 
 from __future__ import annotations
 
+import math
+
 # ---------------------------------------------------------------------------
 # Multiplicative prefixes
 # ---------------------------------------------------------------------------
@@ -61,6 +63,29 @@ def to_millijoules(joules: float) -> float:
 def to_milliwatts(watts: float) -> float:
     """Convert watts to milliwatts for reporting."""
     return watts / MILLI
+
+
+def next_grid_time(time: float, period: float) -> float:
+    """The next exact multiple of ``period`` strictly after ``time``.
+
+    The snap-to-grid rule shared by every fixed-rate schedule in the
+    simulator (recorder decimation, the Morphy controller's 10 Hz poll):
+    anchoring the next event on the period grid rather than ``time +
+    period`` keeps the schedule from drifting with the simulation step
+    size.  Guards the floating-point edge where ``time`` sits exactly on a
+    grid point whose quotient floored low (e.g. ``4.3 / 0.1 == 42.999…``),
+    which would otherwise return ``time`` itself and fire the schedule
+    twice in one period.
+
+    :meth:`repro.buffers.morphy_batch.MorphyBatchKernel.housekeeping`
+    mirrors this expression elementwise over lane arrays; any change here
+    must be reflected there (the Morphy batch/scalar bit-equality tests
+    pin the pairing).
+    """
+    next_time = (math.floor(time / period) + 1.0) * period
+    if next_time <= time:
+        next_time += period
+    return next_time
 
 
 def capacitor_energy(capacitance: float, voltage: float) -> float:

@@ -7,8 +7,10 @@ Three contracts are pinned here:
   and runs a grid without any runner changes (the seam the future
   remote/sharded dispatch backend plugs into).
 * **`pool+batch` equivalence** — the composed backend runs the *full*
-  quick-mode grid (every workload, trace, and buffer, including the
-  unbatchable Morphy/REACT cells it fans out as scalar pool jobs) and
+  quick-mode grid (every workload, trace, and buffer: static-kernel and
+  Morphy-kernel lanes shard into lockstep batches, the unbatchable REACT
+  cells fan out as scalar pool jobs, and Morphy groups narrower than
+  ``min_lanes`` run scalar too) and
   returns the serial backend's results in serial order, under the same
   discipline as ``tests/test_batch_engine.py``: counters and times exactly,
   energy ledgers to 1e-9 (lockstep lanes may differ from the scalar fast
@@ -82,6 +84,17 @@ def capacitance_ladder_buffers():
     """Twelve trace-sharing static lanes: wide enough to shard-split."""
     return [
         StaticBuffer(millifarads(0.5 * (index + 1)), name=f"{0.5 * (index + 1):.1f} mF")
+        for index in range(12)
+    ]
+
+
+def morphy_ladder_buffers():
+    """Twelve topology-sharing Morphy lanes: one kernel, shard-splittable."""
+    return [
+        MorphyBuffer(
+            unit_capacitance=millifarads(0.5 * (index + 1)),
+            name=f"Morphy {0.5 * (index + 1):.1f} mF",
+        )
         for index in range(12)
     ]
 
@@ -197,7 +210,9 @@ class TestPoolBatchBackend:
         """The acceptance gate: pool+batch == serial on the full quick grid.
 
         Every workload × trace × buffer cell, including the unbatchable
-        Morphy/REACT lanes the backend fans out as scalar pool jobs.
+        REACT lanes the backend fans out as scalar pool jobs (the single
+        Morphy lane per trace group stays below ``min_lanes`` and runs
+        scalar as well).
         """
         serial = sweep(settings=QUICK, backend="serial")
         composed = sweep(settings=QUICK, backend=PoolBatchBackend(workers=4))
@@ -220,6 +235,25 @@ class TestPoolBatchBackend:
             trace_names=("RF Cart",),
             settings=QUICK,
             buffer_factory=capacitance_ladder_buffers,
+            backend=PoolBatchBackend(workers=2),
+        )
+        for reference, candidate in zip(serial.results, composed.results):
+            assert_results_equivalent(reference, candidate)
+
+    def test_sharded_morphy_sweep_matches_serial(self):
+        """Morphy lanes shard across workers exactly like the statics."""
+        serial = sweep(
+            workloads=("SC",),
+            trace_names=("RF Cart",),
+            settings=QUICK,
+            buffer_factory=morphy_ladder_buffers,
+            backend="serial",
+        )
+        composed = sweep(
+            workloads=("SC",),
+            trace_names=("RF Cart",),
+            settings=QUICK,
+            buffer_factory=morphy_ladder_buffers,
             backend=PoolBatchBackend(workers=2),
         )
         for reference, candidate in zip(serial.results, composed.results):

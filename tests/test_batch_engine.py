@@ -15,6 +15,7 @@ import pytest
 
 from repro.buffers.dewdrop import DewdropBuffer
 from repro.buffers.morphy import MorphyBuffer
+from repro.buffers.morphy_batch import MorphyBatchKernel
 from repro.buffers.react_adapter import ReactBuffer
 from repro.buffers.static import StaticBatchKernel, StaticBuffer
 from repro.capacitors.leakage import (
@@ -56,13 +57,27 @@ EXACT_FIELDS = (
 
 
 def static_and_dewdrop_buffers():
-    """Every buffer with a batched kernel: the paper's statics plus Dewdrop."""
+    """The static-kernel buffers: the paper's statics plus Dewdrop."""
     return [
         StaticBuffer(microfarads(770.0), name="770 uF"),
         StaticBuffer(millifarads(10.0), name="10 mF"),
         StaticBuffer(millifarads(17.0), name="17 mF"),
         DewdropBuffer(millifarads(10.0)),
     ]
+
+
+def morphy_variant_buffers():
+    """Two topology-sharing Morphy arrays (one lockstep kernel, distinct
+    electricals), so every trace group packs enough Morphy lanes to batch."""
+    return [
+        MorphyBuffer(),
+        MorphyBuffer(unit_capacitance=millifarads(1.0), name="Morphy 1 mF"),
+    ]
+
+
+def mixed_kernel_buffers():
+    """Static-kernel and Morphy-kernel lanes side by side in one grid."""
+    return static_and_dewdrop_buffers() + morphy_variant_buffers()
 
 
 def simulator_kwargs(settings=QUICK):
@@ -104,10 +119,21 @@ class TestBatchability:
     def test_static_and_dewdrop_are_batchable(self):
         for buffer in static_and_dewdrop_buffers():
             assert buffer.can_batch()
+            assert buffer.batch_key() == "static"
 
-    def test_adaptive_architectures_are_not(self):
-        assert not MorphyBuffer().can_batch()
+    def test_morphy_is_batchable_react_is_not(self):
+        assert MorphyBuffer().can_batch()
         assert not ReactBuffer().can_batch()
+        assert ReactBuffer().batch_key() is None
+
+    def test_morphy_batch_key_groups_by_topology(self):
+        """Same topology batches together; unit capacitance may differ."""
+        assert MorphyBuffer().batch_key() == MorphyBuffer(
+            unit_capacitance=millifarads(1.0)
+        ).batch_key()
+        assert (
+            MorphyBuffer().batch_key() != MorphyBuffer(cap_count=4).batch_key()
+        )
 
     def test_exotic_leakage_disables_batching(self):
         buffer = StaticBuffer(
@@ -115,6 +141,18 @@ class TestBatchability:
         )
         assert not buffer.can_batch()
         assert StaticBatchKernel.build([buffer]) is None
+        morphy = MorphyBuffer()
+        morphy.leakage = ConstantCurrentLeakage(1e-6)
+        assert not morphy.can_batch()
+        assert MorphyBatchKernel.build([morphy]) is None
+
+    def test_mixed_kernel_families_do_not_share_a_kernel(self):
+        assert MorphyBatchKernel.build([MorphyBuffer(), StaticBuffer(1e-3)]) is None
+        assert StaticBatchKernel.build([StaticBuffer(1e-3), MorphyBuffer()]) is None
+        assert (
+            MorphyBatchKernel.build([MorphyBuffer(), MorphyBuffer(cap_count=4)])
+            is None
+        )
 
     def test_leakage_stacking(self):
         stacked = stack_proportional_leakage(
@@ -376,13 +414,95 @@ class TestBatchSimulatorEquivalence:
             assert got.frontend.energy_delivered == ref.frontend.energy_delivered
 
 
+class TestMorphyBatchEquivalence:
+    """The Morphy lockstep kernel against the scalar engine.
+
+    Same discipline as the static lanes: bit-identical against step-by-step
+    execution (counters, timestamps, *and* ledgers), 1e-9 ledgers against
+    the scalar default fast path.  The lanes mix workloads and unit
+    capacitances so configuration levels, poll schedules, and gate states
+    all diverge across the batch.
+    """
+
+    def systems(self, trace, workloads=("DE", "SC")):
+        return [
+            build_system(trace, buffer, workload, trace.name)
+            for workload in workloads
+            for buffer in morphy_variant_buffers()
+        ]
+
+    def test_bitwise_equal_to_step_by_step_engine(self):
+        trace = QUICK.trace("RF Cart")
+        reference = [
+            Simulator(system, fast_forward=False, **simulator_kwargs()).run()
+            for system in self.systems(trace)
+        ]
+        batched = BatchSimulator(
+            self.systems(trace), scalar_tail_lanes=0, **simulator_kwargs()
+        ).run()
+        for ref, got in zip(reference, batched):
+            assert_results_equivalent(ref, got, exact_ledgers=True)
+
+    def test_reconfiguration_heavy_lanes_match_bitwise(self):
+        """Solar lanes drive the 10 Hz controller through many level changes."""
+        trace = QUICK.trace("Solar Campus")
+        reference = [
+            Simulator(system, fast_forward=False, **simulator_kwargs()).run()
+            for system in self.systems(trace, workloads=("SC", "RT"))
+        ]
+        batched = BatchSimulator(
+            self.systems(trace, workloads=("SC", "RT")),
+            scalar_tail_lanes=0,
+            **simulator_kwargs(),
+        ).run()
+        for ref, got in zip(reference, batched):
+            assert_results_equivalent(ref, got, exact_ledgers=True)
+
+    def test_reconfiguration_counts_write_back(self):
+        """The kernel's per-lane reconfiguration tally lands on the buffers."""
+        trace = QUICK.trace("Solar Campus")
+        scalar_systems = self.systems(trace, workloads=("SC",))
+        for system in scalar_systems:
+            Simulator(system, fast_forward=False, **simulator_kwargs()).run()
+        batch_systems = self.systems(trace, workloads=("SC",))
+        BatchSimulator(
+            batch_systems, scalar_tail_lanes=0, **simulator_kwargs()
+        ).run()
+        assert any(s.buffer.reconfiguration_count > 0 for s in scalar_systems)
+        for ref, got in zip(scalar_systems, batch_systems):
+            assert got.buffer.reconfiguration_count == ref.buffer.reconfiguration_count
+            assert got.buffer.level == ref.buffer.level
+            assert got.buffer._voltages == ref.buffer._voltages
+            assert got.buffer._next_poll_time == ref.buffer._next_poll_time
+
+    def test_scalar_tail_handoff_changes_nothing(self):
+        trace = QUICK.trace("RF Cart")
+        pure = BatchSimulator(
+            self.systems(trace), scalar_tail_lanes=0, **simulator_kwargs()
+        ).run()
+        with_tail = BatchSimulator(
+            self.systems(trace), scalar_tail_lanes=3, **simulator_kwargs()
+        ).run()
+        for ref, got in zip(pure, with_tail):
+            assert_results_equivalent(ref, got)
+
+
 class TestBatchSimulatorValidation:
     def test_rejects_unbatchable_buffers(self):
         trace = QUICK.trace("RF Cart")
         with pytest.raises(SimulationError, match="batched kernel"):
             BatchSimulator(
-                [build_system(trace, MorphyBuffer(), "DE", "RF Cart")]
+                [build_system(trace, ReactBuffer(), "DE", "RF Cart")]
             )
+
+    def test_rejects_mixed_kernel_families(self):
+        trace = QUICK.trace("RF Cart")
+        systems = [
+            build_system(trace, MorphyBuffer(), "DE", "RF Cart"),
+            build_system(trace, StaticBuffer(millifarads(10.0)), "DE", "RF Cart"),
+        ]
+        with pytest.raises(SimulationError, match="incompatible kernels"):
+            BatchSimulator(systems)
 
     def test_rejects_mixed_traces(self):
         lane_a = build_system(
@@ -456,8 +576,36 @@ class TestFullGridEquivalence:
         for ref, got in zip(serial, batched):
             assert_results_equivalent(ref, got)
 
+    def test_full_quick_grid_morphy(self):
+        """The Morphy acceptance gate: batched == scalar on the full quick grid.
+
+        Every workload × trace cell with two Morphy lanes each, so each
+        trace group packs eight Morphy lanes into one lockstep kernel.
+        """
+        serial = ExperimentRunner(
+            QUICK, buffer_factory=morphy_variant_buffers
+        ).run_grid()
+        batched = ExperimentRunner(
+            QUICK, buffer_factory=morphy_variant_buffers, backend=BatchBackend()
+        ).run_grid()
+        assert len(serial) == len(batched) == 4 * 5 * 2  # workloads×traces×buffers
+        for ref, got in zip(serial, batched):
+            assert_results_equivalent(ref, got)
+
+    def test_mixed_kernel_grid_batches_both_families(self):
+        """Static and Morphy lanes of one trace batch in separate kernels."""
+        serial = ExperimentRunner(
+            QUICK, buffer_factory=mixed_kernel_buffers
+        ).run_grid(trace_names=("RF Cart",))
+        batched = ExperimentRunner(
+            QUICK, buffer_factory=mixed_kernel_buffers, backend=BatchBackend()
+        ).run_grid(trace_names=("RF Cart",))
+        assert len(serial) == len(batched) == 4 * 6
+        for ref, got in zip(serial, batched):
+            assert_results_equivalent(ref, got)
+
     def test_mixed_grid_falls_back_per_lane(self):
-        """Morphy/REACT cells run scalar and land in serial order."""
+        """REACT cells (and narrow Morphy groups) run scalar, in serial order."""
         serial = ExperimentRunner(QUICK).run_grid(
             workloads=("SC",), trace_names=("RF Cart",)
         )

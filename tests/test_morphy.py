@@ -157,6 +157,42 @@ class TestEnergyFlow:
         buffer.housekeeping(time=0.0, dt=0.1, system_on=False)
         assert buffer.level == 1
 
+    def test_harvest_ledger_identity(self):
+        """offered == stored + clipped + switching_loss, the statics' convention."""
+        for energy in (1e-3, 10.0):  # below headroom, and heavily clipped
+            buffer = MorphyBuffer(network_efficiency=0.95)
+            buffer.harvest(energy, dt=1.0)
+            ledger = buffer.ledger
+            assert ledger.offered == pytest.approx(
+                ledger.stored + ledger.clipped + ledger.switching_loss,
+                rel=1e-12,
+            )
+
+    def test_clipped_energy_pays_no_conduction_loss(self):
+        """Only energy that crosses the fabric is charged the network loss.
+
+        The seed charged ``(1 - efficiency)`` of the *whole* input before
+        clipping, so a full array burned conduction loss on energy that
+        never entered the network; now switching loss is exactly the
+        fabric's share of the stored energy.
+        """
+        buffer = MorphyBuffer(network_efficiency=0.95)
+        buffer.harvest(10.0, dt=1.0)  # far beyond headroom: mostly clipped
+        ledger = buffer.ledger
+        assert ledger.clipped > 0.0
+        crossing = ledger.stored / buffer.network_efficiency
+        assert ledger.switching_loss == pytest.approx(
+            crossing - ledger.stored, rel=1e-12
+        )
+        assert ledger.switching_loss < 10.0 * 0.05  # the seed's figure
+
+    def test_lossless_network_matches_static_accounting(self):
+        buffer = MorphyBuffer(network_efficiency=1.0)
+        buffer.harvest(10.0, dt=1.0)
+        ledger = buffer.ledger
+        assert ledger.switching_loss == 0.0
+        assert ledger.clipped == pytest.approx(10.0 - ledger.stored, rel=1e-12)
+
     def test_longevity_supported(self):
         buffer = MorphyBuffer()
         assert buffer.supports_longevity
@@ -177,3 +213,99 @@ class TestEnergyFlow:
         buffer.reset()
         assert buffer.stored_energy == 0.0
         assert buffer.level == 0
+
+
+class TestControllerPolicy:
+    """The 10 Hz poll: hysteresis band, single-step moves, and scheduling."""
+
+    def test_no_reconfiguration_inside_the_threshold_band(self):
+        buffer = MorphyBuffer()  # thresholds 1.9 / 3.5
+        # Level 2 chains six parallel groups, so equal cells at 2.5/6 V
+        # put the output at ~2.5 V — inside the hysteresis band.
+        buffer.set_state(2, [2.5 / 6.0] * 8)
+        assert 1.9 < buffer.output_voltage < 3.5
+        buffer.housekeeping(time=0.0, dt=0.1, system_on=False)
+        assert buffer.level == 2
+        assert buffer.reconfiguration_count == 0
+
+    def test_one_level_per_poll_even_far_beyond_threshold(self):
+        buffer = MorphyBuffer()
+        buffer.set_state(0, [3.55 / 8.0] * 8)  # far above high on the smallest C
+        buffer.housekeeping(time=0.0, dt=0.1, system_on=False)
+        assert buffer.level == 1
+        # A second call before the next poll period must not poll again.
+        buffer.set_state(1, [3.55 / 8.0] * 8)
+        buffer.housekeeping(time=0.05, dt=0.05, system_on=False)
+        assert buffer.level == 1
+        assert buffer.reconfiguration_count == 1
+
+    def test_clamped_at_level_zero_and_max(self):
+        buffer = MorphyBuffer()
+        buffer.set_state(0, [0.1] * 8)  # below the low threshold, already at 0
+        buffer.housekeeping(time=0.0, dt=0.1, system_on=False)
+        assert buffer.level == 0
+        assert buffer.reconfiguration_count == 0
+
+        buffer = MorphyBuffer()
+        top = buffer.table.max_level
+        buffer.set_state(top, [3.55] * 8)  # above the high threshold at max C
+        buffer.housekeeping(time=0.0, dt=0.1, system_on=False)
+        assert buffer.level == top
+        assert buffer.reconfiguration_count == 0
+
+    def test_poll_times_snap_to_the_poll_period_grid(self):
+        """Regression for the drift bug: intervals must not stretch by the
+        step overshoot.  Stepping a 10 Hz controller with dt = 70 ms over
+        ~1 s must poll once per 100 ms grid window that a step lands in
+        (10 polls), not once per ~140 ms drifted interval (8 polls), and
+        the schedule must always sit on an exact grid multiple.
+        """
+        buffer = MorphyBuffer(poll_rate_hz=10.0)
+        polls = 0
+        time = 0.0
+        for _ in range(15):  # t = 0.0, 0.07, ..., 0.98
+            before = buffer._next_poll_time
+            buffer.housekeeping(time=time, dt=0.07, system_on=False)
+            if buffer._next_poll_time != before:
+                polls += 1
+                ticks = buffer._next_poll_time / buffer.poll_period
+                assert ticks == pytest.approx(round(ticks), abs=1e-9), (
+                    "poll schedule left the 10 Hz grid"
+                )
+                assert buffer._next_poll_time > time
+            time += 0.07
+        assert polls == 10
+
+    def test_poll_schedule_advances_past_fp_grid_points(self):
+        """A step landing exactly on a grid point must not re-poll next step.
+
+        4.3 / 0.1 floors to 42 in floating point, so the naive snap computes
+        43 * 0.1 == 4.3 == time and the same 100 ms window polls twice.
+        """
+        buffer = MorphyBuffer(poll_rate_hz=10.0)
+        buffer._next_poll_time = 4.3
+        buffer.set_state(0, [3.55 / 8.0] * 8)  # above the high threshold
+        buffer.housekeeping(time=4.3, dt=0.05, system_on=False)
+        assert buffer._next_poll_time > 4.3
+        assert buffer.reconfiguration_count == 1
+        buffer.set_state(1, [3.55 / 8.0] * 8)  # still above: tempt a re-poll
+        buffer.housekeeping(time=4.35, dt=0.05, system_on=False)
+        assert buffer.reconfiguration_count == 1  # one level per poll period
+
+    def test_poll_schedule_is_dt_independent(self):
+        """Two different step sizes see polls at the same grid points."""
+
+        def grid_points(dt, horizon=1.0):
+            buffer = MorphyBuffer(poll_rate_hz=10.0)
+            seen = []
+            time = 0.0
+            while time < horizon:
+                before = buffer._next_poll_time
+                buffer.housekeeping(time=time, dt=dt, system_on=False)
+                if buffer._next_poll_time != before:
+                    # The grid window this poll serviced.
+                    seen.append(round(before / buffer.poll_period))
+                time += dt
+            return seen
+
+        assert grid_points(0.01) == grid_points(0.07) == list(range(10))

@@ -304,6 +304,20 @@ class TestRecorder:
         intervals = recorder.on_intervals()
         assert len(intervals) == 2
 
+    def test_snap_advances_past_fp_grid_points(self):
+        """A sample landing exactly on a grid point must not duplicate.
+
+        4.3 / 0.1 floors to 42 in floating point, so the naive snap would
+        leave the next record time at 4.3 and the following step would
+        record a second sample in the same 100 ms window.
+        """
+        recorder = Recorder(record_period=0.1)
+        recorder._next_record_time = 4.3
+        recorder.maybe_record(4.3, 2.0, True, 1e-3, 1e-3, 0.0)
+        assert recorder.next_record_time > 4.3
+        recorder.maybe_record(4.35, 2.0, True, 1e-3, 1e-3, 0.0)
+        assert len(recorder) == 1
+
     def test_invalid_period(self):
         with pytest.raises(ValueError):
             Recorder(record_period=0.0)
