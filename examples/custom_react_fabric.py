@@ -8,7 +8,12 @@ against the paper's Table 1 configuration on a solar trace.
 Run with::
 
     python examples/custom_react_fabric.py
+
+Set ``REPRO_EXAMPLES_QUICK=1`` (CI's examples smoke step does) to shrink
+the replayed trace so the script finishes in a couple of seconds.
 """
+
+import os
 
 from repro import (
     BankSpec,
@@ -52,9 +57,16 @@ def design_fabric() -> ReactConfig:
     return config
 
 
+#: CI smoke runs set this to keep every example inside a fast budget.
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") not in ("", "0")
+
+
 def main() -> None:
     custom = design_fabric()
-    trace = solar_trace(duration=900.0, mean_power=1.5e-3, seed=11, name="Garden solar")
+    duration = 300.0 if QUICK else 900.0
+    trace = solar_trace(
+        duration=duration, mean_power=1.5e-3, seed=11, name="Garden solar"
+    )
 
     print(f"{'fabric':16s} {'latency':>9s} {'measurements':>13s}")
     for name, config in (("Table 1 fabric", table1_config()), ("custom fabric", custom)):

@@ -9,10 +9,18 @@ attempts; the guarantee converts that wasted energy into completed uplinks.
 Run with::
 
     python examples/longevity_guarantees.py
+
+Set ``REPRO_EXAMPLES_QUICK=1`` (CI's examples smoke step does) to shrink
+the replayed trace so the script finishes in a couple of seconds.
 """
+
+import os
 
 from repro import BatterylessSystem, RadioTransmit, ReactBuffer, Simulator
 from repro.harvester.synthetic import generate_table3_trace
+
+#: CI smoke runs set this to keep every example inside a fast budget.
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") not in ("", "0")
 
 
 def run_variant(trace, use_guarantee: bool):
@@ -24,6 +32,8 @@ def run_variant(trace, use_guarantee: bool):
 
 def main() -> None:
     trace = generate_table3_trace("RF Mobile")
+    if QUICK:
+        trace = trace.truncated(300.0, name=trace.name)
     print(f"Replaying {trace.name}: {trace.duration:.0f} s, "
           f"{trace.mean_power * 1e3:.2f} mW average harvested power\n")
 

@@ -10,15 +10,25 @@ transmit reservation when a new packet arrives (energy fungibility).
 Run with::
 
     python examples/packet_relay.py
+
+Set ``REPRO_EXAMPLES_QUICK=1`` (CI's examples smoke step does) to shrink
+the replayed trace so the script finishes in a couple of seconds.
 """
+
+import os
 
 from repro import BatterylessSystem, PacketForwarding, ReactBuffer, Simulator, StaticBuffer
 from repro.harvester.synthetic import generate_table3_trace
 from repro.units import microfarads, millifarads
 
+#: CI smoke runs set this to keep every example inside a fast budget.
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") not in ("", "0")
+
 
 def main() -> None:
     trace = generate_table3_trace("RF Cart")
+    if QUICK:
+        trace = trace.truncated(300.0, name=trace.name)
     print(f"Replaying {trace.name}: {trace.duration:.0f} s, "
           f"{trace.mean_power * 1e3:.2f} mW average harvested power")
     print("Packets arrive unpredictably (Poisson, ~5.5 s mean inter-arrival)\n")

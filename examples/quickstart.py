@@ -13,11 +13,20 @@ processes and/or vectorized lockstep batches with identical results.
 Run with::
 
     python examples/quickstart.py
+
+Set ``REPRO_EXAMPLES_QUICK=1`` (CI's examples smoke step does) to run the
+sweep at the quick fidelity so the script finishes in a couple of seconds.
 """
+
+import os
 
 from repro import ReactBuffer, StaticBuffer, generate_table3_trace
 from repro.experiments import sweep
+from repro.experiments.runner import ExperimentSettings
 from repro.units import microfarads, millifarads
+
+#: CI smoke runs set this to keep every example inside a fast budget.
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") not in ("", "0")
 
 
 def quickstart_buffers():
@@ -37,6 +46,7 @@ def main() -> None:
     run = sweep(
         workloads=("SC",),
         trace_names=("RF Mobile",),
+        settings=ExperimentSettings(quick=True) if QUICK else None,
         buffer_factory=quickstart_buffers,
         backend="serial",
     )

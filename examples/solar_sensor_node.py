@@ -11,7 +11,12 @@ by the FIR kernel.
 Run with::
 
     python examples/solar_sensor_node.py
+
+Set ``REPRO_EXAMPLES_QUICK=1`` (CI's examples smoke step does) to shrink
+the simulated deployment so the script finishes in a couple of seconds.
 """
+
+import os
 
 from repro import BatterylessSystem, ReactBuffer, SenseAndCompute, Simulator, StaticBuffer
 from repro.harvester.regulator import BoostRegulator
@@ -19,12 +24,15 @@ from repro.harvester.solar import SolarPanel, diurnal_irradiance
 from repro.sim.recorder import Recorder
 from repro.units import microfarads
 
+#: CI smoke runs set this to keep every example inside a fast budget.
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") not in ("", "0")
+
 
 def build_trace():
     """Morning-to-noon irradiance converted to electrical power."""
     panel = SolarPanel(area_cm2=5.0, efficiency=0.22)
     irradiance = diurnal_irradiance(
-        duration=30 * 60.0,          # half an hour of simulated deployment
+        duration=(10 * 60.0 if QUICK else 30 * 60.0),
         sample_period=5.0,
         peak_irradiance=120.0,       # a shaded indoor/outdoor window sill
         sunrise=0.0,

@@ -245,6 +245,81 @@ class EnergyBuffer(ABC):
                     break
         return steps, time
 
+    # -- on-phase fast forwarding ----------------------------------------------
+
+    def fast_forward_on(
+        self,
+        delivered_power: float,
+        load_current: float,
+        dt: float,
+        start_time: float,
+        max_steps: int,
+        stop_above: Optional[float] = None,
+        stop_below: Optional[float] = None,
+        brownout_floor: Optional[float] = None,
+        wake_energy: Optional[float] = None,
+    ) -> Tuple[int, float]:
+        """Advance up to ``max_steps`` quiescent *on*-phase steps of size ``dt``.
+
+        The on-phase analogue of :meth:`fast_forward`, used when the
+        workload has declared a :class:`~repro.workloads.base.QuiescenceHint`:
+        the platform load is the constant ``load_current`` (MCU mode +
+        peripherals + gate quiescent current; this method adds the buffer's
+        own :meth:`overhead_current`, re-evaluated per step since designs
+        like REACT tie it to the output voltage) and the per-step call
+        sequence — harvest, draw, ``housekeeping(..., system_on=True)`` —
+        replays exactly what the engine would execute, so controller
+        polling and replenishment still run on their own schedules.
+
+        Stop conditions, all conservative (an un-consumed step is simply
+        executed by the engine's exact per-step machinery):
+
+        * ``stop_above`` — a wake voltage or the next regulator efficiency
+          breakpoint above; checked against the present voltage and the
+          :meth:`post_harvest_voltage_bound` *before* committing a step, so
+          no committed step's workload-observation point (post-harvest) can
+          have crossed it.
+        * ``wake_energy`` — a pending longevity request with no expressible
+          wake voltage; the loop stops before any step whose harvest could
+          lift :meth:`usable_energy` to the request.  Harvest raises the
+          usable energy by at most the offered energy, and a double margin
+          absorbs both float rounding and housekeeping-driven jumps (which
+          are caught at the next iteration's re-check, after they happen).
+        * ``brownout_floor`` — checked against the voltage at each step
+          *start* (equal to the previous step's end): harvesting can only
+          raise the voltage, so a step starting above the floor cannot
+          brown out mid-step, while a step starting at or below it might
+          (the gate tests the post-harvest voltage) and is left to the
+          engine's exact machinery to resolve.
+        * ``stop_below`` — the regulator's efficiency region changed; the
+          committed step still used the correct (pre-crossing) power.
+        """
+        energy = delivered_power * dt
+        time = start_time
+        steps = 0
+        while steps < max_steps:
+            voltage = self.output_voltage
+            if brownout_floor is not None and voltage <= brownout_floor:
+                break
+            if stop_above is not None:
+                if voltage >= stop_above:
+                    break
+                if self.post_harvest_voltage_bound(energy) >= stop_above:
+                    break
+            if (
+                wake_energy is not None
+                and self.usable_energy() + 2.0 * energy >= wake_energy
+            ):
+                break
+            self.harvest(energy, dt)
+            self.draw(load_current + self.overhead_current(True), dt)
+            self.housekeeping(time, dt, True)
+            time += dt
+            steps += 1
+            if stop_below is not None and self.output_voltage < stop_below:
+                break
+        return steps, time
+
     # -- longevity guarantees --------------------------------------------------
 
     def request_longevity(self, energy: float) -> None:
@@ -269,6 +344,23 @@ class EnergyBuffer(ABC):
     def longevity_request(self) -> float:
         """The currently requested reserve energy in joules (0 when none)."""
         return self._longevity_request
+
+    def longevity_wake_voltage(self) -> Optional[float]:
+        """Output voltage at which the pending longevity request is met.
+
+        When a buffer's :meth:`longevity_satisfied` condition is exactly a
+        threshold on the output voltage (Dewdrop's adaptive enable point is
+        the in-tree case), returning that threshold lets the simulator
+        fast-forward a waiting workload right up to it.  The returned value
+        must be exact or conservative (never above the true flip voltage
+        while a lower output could already satisfy the request — the
+        fast path skips *until* the voltage reaches it).  ``None`` (the
+        default) means the condition has no output-voltage equivalent; the
+        simulator then falls back to a usable-energy guard on the pending
+        request, which is conservative for every buffer whose harvest
+        raises :meth:`usable_energy` by at most the offered energy.
+        """
+        return None
 
     def usable_energy(self) -> float:
         """Energy extractable before the platform would brown out.

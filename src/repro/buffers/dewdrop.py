@@ -13,6 +13,8 @@ varying the enable point alone cannot match an energy-adaptive capacitance.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.buffers.static import StaticBuffer
 from repro.exceptions import ConfigurationError
 from repro.units import capacitor_energy
@@ -66,3 +68,16 @@ class DewdropBuffer(StaticBuffer):
         if self.longevity_request <= 0.0:
             return True
         return self.output_voltage >= self.required_voltage(self.longevity_request)
+
+    def longevity_wake_voltage(self) -> Optional[float]:
+        """Dewdrop's longevity condition *is* a voltage threshold.
+
+        :meth:`longevity_satisfied` compares the output voltage against
+        :meth:`required_voltage` of the pending request, so the threshold
+        itself is the exact wake voltage the simulator's quiescent fast
+        path must stop below — the inputs (request, capacitance, clamps)
+        are all frozen while the workload waits.
+        """
+        if self.longevity_request <= 0.0:
+            return None
+        return self.required_voltage(self.longevity_request)

@@ -244,6 +244,100 @@ class StaticBuffer(EnergyBuffer):
         self.ledger.leaked += leaked_total
         return steps, time
 
+    def fast_forward_on(
+        self,
+        delivered_power: float,
+        load_current: float,
+        dt: float,
+        start_time: float,
+        max_steps: int,
+        stop_above: Optional[float] = None,
+        stop_below: Optional[float] = None,
+        brownout_floor: Optional[float] = None,
+        wake_energy: Optional[float] = None,
+    ) -> Tuple[int, float]:
+        """Exact inlined on-phase replay for a single buffer capacitor.
+
+        Same structure as :meth:`fast_forward` — the identical per-step
+        harvest → draw → leak expressions in the identical order, on local
+        floats, ledger totals accumulated once — but with the on-phase
+        load (the workload's constant demand plus the gate's quiescent
+        current plus this buffer's on-overhead) and the on-phase stop set:
+        a wake voltage / efficiency breakpoint above, the brown-out floor
+        below (checked at step start with the gate's ``<=`` convention —
+        see :meth:`EnergyBuffer.fast_forward_on`), and the conservative
+        usable-energy guard for a pending longevity request (for a single
+        capacitor the usable energy is the stored energy above the
+        brown-out floor).
+        """
+        cap = self._capacitor
+        capacitance = cap.capacitance
+        max_energy = cap.max_energy
+        leakage_charge_lost = cap.leakage.charge_lost
+        total_load = load_current + self.overhead_current(True)
+        energy_in = delivered_power * dt
+        floor_energy = capacitor_energy(capacitance, self.brownout_voltage)
+        charge = cap._charge
+        time = start_time
+        steps = 0
+        offered = stored_total = clipped_total = 0.0
+        delivered_total = leaked_total = 0.0
+        while steps < max_steps:
+            voltage = charge / capacitance
+            if brownout_floor is not None and voltage <= brownout_floor:
+                break  # the gate may disconnect this step: engine decides
+            energy = 0.5 * capacitance * voltage * voltage
+            if wake_energy is not None:
+                usable = energy - floor_energy
+                if usable < 0.0:
+                    usable = 0.0
+                if usable + 2.0 * energy_in >= wake_energy:
+                    break
+            # Harvest (energy-domain charging, clipped at the rated voltage).
+            new_energy = energy
+            if energy_in > 0.0:
+                new_energy = min(energy + energy_in, max_energy)
+                post_charge = capacitance * math.sqrt(2.0 * new_energy / capacitance)
+                if stop_above is not None and post_charge / capacitance >= stop_above:
+                    break  # a wake/breakpoint crossing: leave it to the engine
+                charge = post_charge
+                stored_total += new_energy - energy
+                clipped_total += energy_in - (new_energy - energy)
+                offered += energy_in
+            elif stop_above is not None and voltage >= stop_above:
+                break
+            else:
+                offered += energy_in
+            # Load draw (charge domain, floored at zero).
+            before_energy = new_energy
+            charge = max(charge - total_load * dt, 0.0)
+            voltage = charge / capacitance
+            after_energy = 0.5 * capacitance * voltage * voltage
+            delivered_total += before_energy - after_energy
+            # Leakage (through the model's charge_lost hook, so custom
+            # LeakageModel subclasses stay equivalent to the stepped path).
+            lost_charge = leakage_charge_lost(voltage, dt)
+            if lost_charge > charge:
+                lost_charge = charge
+            charge -= lost_charge
+            voltage = charge / capacitance
+            leaked_total += after_energy - 0.5 * capacitance * voltage * voltage
+            time += dt
+            steps += 1
+            if stop_below is not None and voltage < stop_below:
+                break
+        cap._charge = charge
+        cap.ledger.absorbed += stored_total
+        cap.ledger.clipped += clipped_total
+        cap.ledger.delivered += delivered_total
+        cap.ledger.leaked += leaked_total
+        self.ledger.offered += offered
+        self.ledger.stored += stored_total
+        self.ledger.clipped += clipped_total
+        self.ledger.delivered += delivered_total
+        self.ledger.leaked += leaked_total
+        return steps, time
+
     # -- lifecycle ----------------------------------------------------------------------
 
     def reset(self) -> None:

@@ -104,8 +104,12 @@ def diurnal_irradiance(
     clear_sky = peak_irradiance * np.sin(np.pi * solar_angle)
     clear_sky[(time_of_day < sunrise) | (time_of_day > sunset)] = 0.0
     # Slowly varying cloud attenuation between (1 - cloud_fraction) and 1.
+    # The smoothing window is capped at the timeline length — and the cap
+    # must win over the 3-sample floor: np.convolve's "same" mode returns
+    # max(len(input), len(kernel)) samples, so any kernel longer than a
+    # short timeline would change the output shape.
     cloud_noise = rng.random(times.size)
-    window = max(3, int(1800.0 / sample_period))
+    window = min(max(3, int(1800.0 / sample_period)), times.size)
     kernel = np.ones(window) / window
     smoothed = np.convolve(cloud_noise, kernel, mode="same")
     attenuation = 1.0 - cloud_fraction * smoothed

@@ -58,6 +58,20 @@ class PeriodicEventSource(EventSource):
             raise ConfigurationError(f"phase must be non-negative, got {self.phase}")
         self._next_event_time = self.phase
 
+    @property
+    def next_fire_time(self) -> float:
+        """Earliest event time not yet delivered to a monotone consumer.
+
+        For the monotone window sequence a simulation produces this is the
+        first deadline at or after the end of the last
+        :meth:`events_between` window — the value workload quiescence
+        hints are built from.  Exact on the period grid: the cached cursor
+        is refreshed on every slow-path query and remains valid across the
+        empty-interval fast path (which only advances windows that end
+        before it).
+        """
+        return self._next_event_time
+
     def events_between(self, start: float, end: float) -> List[Event]:
         if end <= start:
             return []
@@ -136,6 +150,22 @@ class PoissonEventSource(EventSource):
         view = self._times.view()
         view.flags.writeable = False
         return view
+
+    @property
+    def next_fire_time(self) -> float:
+        """Earliest arrival not yet delivered to a monotone consumer.
+
+        The cursor points at the first arrival at or after the end of the
+        last :meth:`events_between` window (for the monotone window
+        sequence a simulation produces), so this is the time that bounds a
+        workload's quiescence hint; ``math.inf`` once the schedule is
+        exhausted.
+        """
+        times = self._times_list
+        cursor = self._cursor
+        if cursor < len(times):
+            return times[cursor]
+        return math.inf
 
     def events_between(self, start: float, end: float) -> List[Event]:
         """Events with ``start <= time < end``.

@@ -46,6 +46,22 @@ is stepped once over the whole off interval rather than once per ``dt_off``
 is equivalent), and its MCU accounting is skipped (the off mode draws
 nothing and contributes to no reported metric).
 
+On lanes use the same workload-quiescence protocol as the scalar engine's
+on-phase fast path, expressed as per-lane hint masks: after a normal on
+step, a lane caches the :class:`~repro.workloads.base.QuiescenceHint` its
+workload declares and, while the hint holds (the lane's step end stays
+before the hint expiry and its post-harvest voltage below the wake
+voltage — the exact observation point the stepped workload would use),
+subsequent iterations skip the per-lane Python ``workload.step`` dispatch
+and reuse the promised constant demand.  The buffer/gate/MCU arithmetic
+still advances per step in the shared arrays, so trajectories are
+unchanged; the skipped window is flushed through
+:meth:`~repro.workloads.base.Workload.skip_quiescent` before the lane next
+steps normally, browns out, retires, or hands off.  Lanes whose hints
+don't apply (no promise, or an energy-guarded longevity wait) simply step.
+``fast_forward=False`` disables the skip along with the scalar tail's fast
+paths.
+
 The simulator does not support attaching a :class:`~repro.sim.recorder.Recorder`;
 timeline recording is a single-system concern and stays on the scalar engine.
 """
@@ -132,10 +148,11 @@ class BatchSimulator:
         #: numpy dispatch than the scalar per-step machinery it replaces.
         #: Zero disables the hand-off.
         self.scalar_tail_lanes = scalar_tail_lanes
-        #: Whether hand-off Simulators may use the scalar off-phase fast
-        #: path.  The lockstep loop itself always replays step-by-step
-        #: arithmetic (that is what vectorizes), so this flag only shapes
-        #: the tail — pass False for step-by-step ablations.
+        #: Whether hand-off Simulators may use the scalar fast paths and
+        #: the lockstep loop may honour workload quiescence hints (skipping
+        #: per-lane workload dispatch while a hint holds).  The lockstep
+        #: loop's electrical arithmetic is always step-by-step (that is
+        #: what vectorizes) — pass False for pure step-by-step ablations.
         self.fast_forward = fast_forward
 
         reference = self.systems[0].frontend
@@ -224,6 +241,20 @@ class BatchSimulator:
         # Start of the pending aggregated off-interval the workload has not
         # yet been stepped over; every lane cold-starts off at t = 0.
         off_start = np.zeros(n)
+        # Per-lane on-phase quiescence state (plain lists: every consumer is
+        # scalar per-lane code).  A lane with a cached hint skips its
+        # workload.step while the hint holds; the skipped window
+        # [skip_start, lane time) spans skip_steps steps and is flushed
+        # through Workload.skip_quiescent before the workload next runs.
+        use_hints = self.fast_forward
+        minus_infinity = float("-inf")
+        infinity = float("inf")
+        hint_until = [minus_infinity] * n
+        hint_wake = [infinity] * n
+        hint_load = [0.0] * n
+        hint_mode = [PowerMode.OFF] * n
+        skip_start = [0.0] * n
+        skip_steps = [0] * n
         enable_voltage = np.array([g.enable_voltage for g in gates])
         brownout_voltage = np.array([g.brownout_voltage for g in gates])
         quiescent = np.array([g.quiescent_current for g in gates])
@@ -265,6 +296,21 @@ class BatchSimulator:
                     StepContext(start, now - start, False, buffers[index])
                 )
 
+        def flush_on(index: int) -> None:
+            """Account the pending skipped quiescent window, ending the hint."""
+            pending = skip_steps[index]
+            if pending:
+                start = skip_start[index]
+                now = float(time[index])
+                kernel.sync_lane(index)
+                workloads[index].skip_quiescent(
+                    StepContext(start, now - start, True, buffers[index]),
+                    pending,
+                    dt_on,
+                )
+                skip_steps[index] = 0
+            hint_until[index] = minus_infinity
+
         def write_back(index: int):
             """Push lane ``index``'s array state into its component objects.
 
@@ -290,6 +336,7 @@ class BatchSimulator:
             """Finalize one lane into its SimulationResult."""
             if enabled[index]:
                 # End-of-simulation power-down, exactly as the scalar engine.
+                flush_on(index)
                 workloads[index].on_power_loss(float(time[index]))
                 mcus[index].power_off()
             else:
@@ -326,7 +373,9 @@ class BatchSimulator:
             same step sequence this loop would have executed (plus its own
             off-phase fast path, which is equivalence-tested separately).
             """
-            if not enabled[index]:
+            if enabled[index]:
+                flush_on(index)
+            else:
                 flush_off(index)
             write_back(index)
             lane_latency = float(latency[index])
@@ -414,6 +463,12 @@ class BatchSimulator:
                 time_sleep = [v for v, k in zip(time_sleep, keep) if k]
                 time_deep_sleep = [v for v, k in zip(time_deep_sleep, keep) if k]
                 on_overhead = [v for v, k in zip(on_overhead, keep) if k]
+                hint_until = [v for v, k in zip(hint_until, keep) if k]
+                hint_wake = [v for v, k in zip(hint_wake, keep) if k]
+                hint_load = [v for v, k in zip(hint_load, keep) if k]
+                hint_mode = [v for v, k in zip(hint_mode, keep) if k]
+                skip_start = [v for v, k in zip(skip_start, keep) if k]
+                skip_steps = [v for v, k in zip(skip_steps, keep) if k]
                 time = time[keep]
                 enabled = enabled[keep]
                 latency = latency[keep]
@@ -445,6 +500,8 @@ class BatchSimulator:
                         off_start, enable_voltage, brownout_voltage,
                         quiescent, quiescent_list, off_load, raw_energy,
                         delivered_energy, dt_on_full, dt_off_full,
+                        hint_until, hint_wake, hint_load, hint_mode,
+                        skip_start, skip_steps,
                     )
                 ), "per-lane state fell out of sync during compaction"
                 if len(lane_systems) <= scalar_tail_lanes:
@@ -523,6 +580,7 @@ class BatchSimulator:
                     brownout_count[browning] += 1
                     for index in np.nonzero(browning)[0]:
                         index = int(index)
+                        flush_on(index)
                         mcus[index].power_off()
                         workloads[index].on_power_loss(float(time[index]))
                         off_start[index] = time[index]
@@ -532,13 +590,48 @@ class BatchSimulator:
             # -- 3. workload and load current --
             # Off lanes place only the gate's quiescent load; their workload
             # steps are aggregated and flushed at the next enable/retirement.
+            # On lanes with a live quiescence hint skip the Python workload
+            # dispatch and reuse the promised demand (the hint check uses
+            # the post-harvest voltage — exactly what a stepped workload
+            # would observe); the rest step normally and may cache a fresh
+            # hint for the iterations that follow.
             if n_enabled:
                 load = off_load.copy()
                 time_list = time.tolist()
                 dt_list = dt.tolist()
                 on_indices = np.nonzero(enabled)[0].tolist()
-                kernel.sync_lanes(on_indices)
-                for index in on_indices:
+                step_indices = []
+                if use_hints:
+                    end_list = end_time.tolist()
+                    voltage_list = voltage.tolist()
+                    for index in on_indices:
+                        # The expiry bound is exclusive: a step ending
+                        # exactly on it may fire the workload's timer
+                        # (QuiescenceHint's contract), so that step runs
+                        # normally.
+                        if (
+                            end_list[index] < hint_until[index]
+                            and voltage_list[index] < hint_wake[index]
+                        ):
+                            mode = hint_mode[index]
+                            dt_lane = dt_list[index]
+                            if mode is PowerMode.SLEEP:
+                                time_sleep[index] += dt_lane
+                            elif mode is PowerMode.ACTIVE:
+                                time_active[index] += dt_lane
+                            elif mode is PowerMode.DEEP_SLEEP:
+                                time_deep_sleep[index] += dt_lane
+                            if skip_steps[index] == 0:
+                                skip_start[index] = time_list[index]
+                            skip_steps[index] += 1
+                            load[index] = hint_load[index]
+                        else:
+                            flush_on(index)
+                            step_indices.append(index)
+                else:
+                    step_indices = on_indices
+                kernel.sync_lanes(step_indices)
+                for index in step_indices:
                     demand = workloads[index].step(
                         StepContext(
                             time_list[index], dt_list[index], True, buffers[index]
@@ -563,6 +656,40 @@ class BatchSimulator:
                         + quiescent_list[index]
                         + on_overhead[index]
                     )
+                    if use_hints:
+                        hint = workloads[index].quiescent_until(
+                            StepContext(
+                                end_list[index], dt_on, True, buffers[index]
+                            )
+                        )
+                        if hint is None:
+                            continue
+                        wake = hint.wake_on_voltage
+                        if wake is None and buffers[index].longevity_request > 0.0:
+                            # An energy-guarded longevity wait has no exact
+                            # voltage mask; such lanes simply step.
+                            continue
+                        promised = hint.demand if hint.demand is not None else demand
+                        promised_mode = promised.mcu_mode
+                        if promised_mode is PowerMode.SLEEP:
+                            promised_current = sleep_current[index]
+                        elif promised_mode is PowerMode.ACTIVE:
+                            promised_current = active_current[index]
+                        elif promised_mode is PowerMode.DEEP_SLEEP:
+                            promised_current = deep_sleep_current[index]
+                        else:
+                            promised_current = mcu_off_current[index]
+                        hint_until[index] = hint.no_demand_change_before_time
+                        hint_wake[index] = (
+                            infinity if wake is None else wake
+                        )
+                        hint_mode[index] = promised_mode
+                        hint_load[index] = (
+                            promised_current
+                            + promised.peripheral_current
+                            + quiescent_list[index]
+                            + on_overhead[index]
+                        )
             else:
                 load = off_load
             kernel.draw(load, dt)

@@ -50,6 +50,28 @@ equal to the step-by-step engine up to floating-point summation order of
 the energy ledgers; pass ``fast_forward=False`` to force pure step-by-step
 execution.
 
+On-phase fast path (workload quiescence)
+----------------------------------------
+
+Most *on* steps are quiescent too: the workload is parked in (deep) sleep
+waiting for a timer, an event, or a longevity reserve, and its power
+demand — hence the whole platform load — is constant.  Workloads declare
+such stretches through the quiescence protocol
+(:meth:`~repro.workloads.base.Workload.quiescent_until` returning a
+:class:`~repro.workloads.base.QuiescenceHint`), and the engine
+fast-forwards them through
+:meth:`~repro.buffers.base.EnergyBuffer.fast_forward_on`: whole
+constant-demand segments bounded by the hint's expiry (the next deadline,
+packet, or sensor reading), its wake voltage (or a conservative
+usable-energy guard for a pending longevity request), trace sample
+boundaries, regulator efficiency breakpoints, the gate's brown-out floor,
+and pending recorder sample points.  Per-mode MCU time is accumulated with
+the same additive per-step arithmetic as stepped execution (so ``on_time``
+and ``active_time`` stay bit-identical), and the workload accounts for the
+skipped window once through
+:meth:`~repro.workloads.base.Workload.skip_quiescent`.  As with the
+off-phase path, ``fast_forward=False`` forces pure step-by-step execution.
+
 Recording and latency use an end-of-step convention: a sample (and the
 first-enable latency) is stamped ``time + dt``, the end of the integration
 interval that produced the recorded state.
@@ -66,6 +88,30 @@ from repro.sim.recorder import Recorder
 from repro.sim.results import SimulationResult
 from repro.sim.system import BatterylessSystem
 from repro.workloads.base import StepContext
+
+
+_INFINITY = float("inf")
+
+
+def _efficiency_stops(voltage, breakpoints, ceiling):
+    """(stop_above, stop_below) fast-forward bounds for a constant-power run.
+
+    Harvested power changes when the buffer voltage crosses a regulator
+    efficiency breakpoint in either direction, so a fast-forwarded
+    interval must stop at the nearest breakpoint above and below the
+    present ``voltage``.  ``ceiling`` seeds the upper stop with a bound of
+    the caller's own (the gate's enable voltage off-phase, a quiescence
+    hint's wake voltage on-phase) or None.
+    """
+    stop_above = ceiling
+    stop_below = None
+    for breakpoint_voltage in breakpoints:
+        if voltage < breakpoint_voltage:
+            if stop_above is None or breakpoint_voltage < stop_above:
+                stop_above = breakpoint_voltage
+        elif stop_below is None or breakpoint_voltage > stop_below:
+            stop_below = breakpoint_voltage
+    return stop_above, stop_below
 
 
 class Simulator:
@@ -118,6 +164,11 @@ class Simulator:
         time = self.start_time
         latency: Optional[float] = self.initial_latency
         steps = 0
+        # The demand returned by the most recent *on* step; while the gate
+        # stays enabled this is the demand a quiescence hint promises to
+        # hold constant.  None until the first on step (e.g. a mid-flight
+        # resume that starts enabled) keeps the on-phase fast path off.
+        last_demand = None
 
         dt_on = self.dt_on
         dt_off = self.dt_off
@@ -154,6 +205,14 @@ class Simulator:
                     break
 
             if gate.enabled:
+                if use_fast_forward and last_demand is not None:
+                    consumed, time = self._advance_on_phase(
+                        time, hard_stop, breakpoints, last_demand,
+                        self.max_steps - steps,
+                    )
+                    if consumed:
+                        steps += consumed
+                        continue
                 dt = dt_on
             else:
                 if use_fast_forward:
@@ -191,6 +250,7 @@ class Simulator:
             # 3. Workload and load current.
             demand = workload_step(StepContext(time, dt, system_on, buffer))
             if system_on:
+                last_demand = demand
                 mcu_set_mode(demand.mcu_mode)
                 load_current = (
                     mcu_current()
@@ -273,17 +333,9 @@ class Simulator:
             return 0, time
 
         voltage = buffer.output_voltage
-        stop_above = gate.enable_voltage
-        stop_below = None
-        for breakpoint_voltage in breakpoints:
-            # Power changes when the buffer voltage crosses an efficiency
-            # breakpoint, in either direction.
-            if voltage < breakpoint_voltage < stop_above:
-                stop_above = breakpoint_voltage
-            elif breakpoint_voltage <= voltage and (
-                stop_below is None or breakpoint_voltage > stop_below
-            ):
-                stop_below = breakpoint_voltage
+        stop_above, stop_below = _efficiency_stops(
+            voltage, breakpoints, gate.enable_voltage
+        )
         drain_floor = gate.enable_voltage if time >= trace_duration else None
 
         raw = frontend.raw_power(time)
@@ -307,6 +359,104 @@ class Simulator:
         # One aggregated off step so the workload accounts for events
         # (missed packets, missed deadlines) in the skipped interval.
         system.workload.step(StepContext(time, end_time - time, False, buffer))
+        return consumed, end_time
+
+    def _advance_on_phase(self, time, hard_stop, breakpoints, demand, step_budget):
+        """Fast-forward quiescent on-phase steps inside one constant-power interval.
+
+        Mirrors :meth:`_advance_off_phase` for the powered platform: the
+        workload's :class:`~repro.workloads.base.QuiescenceHint` promises a
+        constant ``demand``, so the per-step work reduces to the buffer's
+        harvest/draw/housekeeping recurrence under a constant load, which
+        :meth:`~repro.buffers.base.EnergyBuffer.fast_forward_on` replays
+        without the engine's per-step dispatch.  Returns ``(steps_consumed,
+        new_time)``; zero steps means an event/wake/boundary is imminent
+        and the engine must take a normal step.
+        """
+        system = self.system
+        frontend, buffer, gate = system.frontend, system.buffer, system.gate
+        workload = system.workload
+        dt = self.dt_on
+
+        hint = workload.quiescent_until(StepContext(time, dt, True, buffer))
+        if hint is None:
+            return 0, time
+        if hint.demand is not None:
+            demand = hint.demand
+
+        # Constant-power window: the current trace sample (zero-order hold)
+        # and the simulation hard stop...
+        limit = min(frontend.segment_end(time), hard_stop)
+        max_steps = int((limit - time) / dt)
+        # ...the hint's expiry (one full step of conservative margin: the
+        # additively accumulated end time can overshoot a computed bound by
+        # rounding ulps, and an event at the expiry must be observed by a
+        # normal step — so the margin applies even when the expiry sits at
+        # or just past the trace-segment boundary)...
+        expiry = hint.no_demand_change_before_time
+        if expiry != _INFINITY:
+            max_steps = min(max_steps, int((expiry - time) / dt) - 1)
+        # ...and any pending recorder sample point.
+        if self.recorder is not None:
+            max_steps = min(
+                max_steps, int((self.recorder.next_record_time - time) / dt) - 1
+            )
+        max_steps = min(max_steps, step_budget)
+        if max_steps < 1:
+            return 0, time
+
+        voltage = buffer.output_voltage
+        stop_above, stop_below = _efficiency_stops(
+            voltage, breakpoints, hint.wake_on_voltage
+        )
+        wake_energy = None
+        if hint.wake_on_voltage is None:
+            # A pending longevity request with no expressible wake voltage
+            # (REACT, Morphy, Capybara): guard on the usable energy instead.
+            request = buffer.longevity_request
+            if request > 0.0:
+                wake_energy = request
+
+        raw = frontend.raw_power(time)
+        delivered = frontend.delivered_power(time, voltage)
+        mcu = system.mcu
+        mode = demand.mcu_mode
+        mode_current = mcu.current(mode)
+        load_current = (
+            mode_current + demand.peripheral_current + gate.quiescent_current
+        )
+        consumed, end_time = buffer.fast_forward_on(
+            delivered,
+            load_current,
+            dt,
+            time,
+            max_steps,
+            stop_above=stop_above,
+            stop_below=stop_below,
+            brownout_floor=gate.brownout_voltage,
+            wake_energy=wake_energy,
+        )
+        if consumed == 0:
+            return 0, time
+
+        elapsed = consumed * dt
+        frontend.credit(raw * elapsed, delivered * elapsed)
+        # The stepped path would have set this mode on the segment's first
+        # step (it can differ from the present mode right after a phase
+        # completes); per-mode time then replays the stepped engine's
+        # additive accumulation (same additions, same order) so
+        # on_time/active_time — which the batch engine reproduces exactly —
+        # stay bit-identical.  The charge ledger, which no reported metric
+        # consumes, is aggregated.
+        mcu.set_mode(mode)
+        accumulated = mcu.time_in_mode.get(mode, 0.0)
+        for _ in range(consumed):
+            accumulated += dt
+        mcu.time_in_mode[mode] = accumulated
+        mcu.charge_drawn += mode_current * elapsed
+        workload.skip_quiescent(
+            StepContext(time, end_time - time, True, buffer), consumed, dt
+        )
         return consumed, end_time
 
     def _drained(self, time: float, hard_stop: float) -> bool:

@@ -7,13 +7,36 @@ peripheral current it is drawing.  The simulator applies that demand to the
 energy buffer; the workload learns about brown-outs through
 :meth:`Workload.on_power_loss` so it can account for failed atomic
 operations.
+
+Quiescence protocol
+-------------------
+
+Most on-phase steps are *quiescent*: the workload is parked in (deep)
+sleep waiting for a timer, an external event, or a longevity guarantee,
+and will answer every step with the same :class:`PowerDemand` it just
+returned.  The simulator exploits that through a cooperative protocol:
+
+* :meth:`Workload.quiescent_until` declares, from the workload's own
+  timer/event state, a :class:`QuiescenceHint` — a promise that its demand
+  cannot change before a given simulated time (and, optionally, before the
+  buffer output reaches a wake voltage).  Returning ``None`` makes no
+  promise and the simulator steps normally.
+* :meth:`Workload.skip_quiescent` is called once per skipped segment so
+  the workload can advance its internal clocks and event cursors exactly
+  as the per-step calls would have — the engine guarantees the segment
+  lies strictly inside the hint (no event fires in it, the wake voltage is
+  not reached, the platform stays on).
+
+Both sides of the contract are exercised by the differential equivalence
+tests: a fast-forwarded run must reproduce the step-by-step engine's
+counters exactly.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, NamedTuple
+from typing import TYPE_CHECKING, Dict, NamedTuple, Optional
 
 from repro.platform.mcu import PowerMode
 
@@ -66,6 +89,46 @@ class PowerDemand(NamedTuple):
         return cls(mcu_mode=PowerMode.ACTIVE, peripheral_current=peripheral_current)
 
 
+class QuiescenceHint(NamedTuple):
+    """A workload's promise that its power demand is momentarily static.
+
+    The contract: as long as the platform stays powered, every
+    :meth:`Workload.step` call over a window that ends *strictly before*
+    ``no_demand_change_before_time`` — and during which the buffer output
+    voltage stays below ``wake_on_voltage`` (when set) — returns exactly
+    ``demand``, and mutates no state beyond what
+    :meth:`Workload.skip_quiescent` reproduces.  The bound is exclusive
+    because internal timers may fire on inclusive comparisons (a window
+    ending exactly on RT's ``data_period`` grid lands a reading), so the
+    step that reaches the expiry must always execute normally.  The
+    simulator stops fast-forwarding conservatively *before* either
+    condition can trigger; being woken early is always safe, and promising
+    too much is the one way to corrupt a simulation.
+    """
+
+    #: Absolute simulated time before which the demand cannot change for
+    #: timer/event reasons (``math.inf`` when only the wake voltage or a
+    #: longevity request bounds the promise).
+    no_demand_change_before_time: float
+    #: Demand may change once the buffer output voltage reaches this value
+    #: (e.g. a Dewdrop longevity threshold); None when no voltage wakes the
+    #: workload.  Buffers whose longevity condition has no output-voltage
+    #: equivalent leave this None and the engine falls back to a
+    #: conservative usable-energy guard keyed off the pending request.
+    wake_on_voltage: Optional[float] = None
+    #: True when ``no_demand_change_before_time`` is backed by an external
+    #: event source's next-fire time (a deadline or packet arrival) rather
+    #: than an internal timer; informational, the engine treats both alike.
+    wake_on_event: bool = False
+    #: The constant demand the promise holds.  This is the demand the
+    #: *next* step would return, which at a phase boundary (the step that
+    #: just completed a measurement, say) differs from the demand the
+    #: workload most recently returned; ``None`` means "unchanged from the
+    #: most recent step", valid only for workloads whose on-phase demand
+    #: never varies.
+    demand: Optional[PowerDemand] = None
+
+
 #: Interned demands for the parameterless cases, which cover the vast
 #: majority of steps; reusing them keeps the hot loop allocation-free.
 _DEMAND_OFF = PowerDemand(mcu_mode=PowerMode.OFF, peripheral_current=0.0)
@@ -108,6 +171,34 @@ class Workload(ABC):
         deadlines or lost packets; in that case the returned demand is
         ignored by the simulator.
         """
+
+    def quiescent_until(self, ctx: StepContext) -> Optional[QuiescenceHint]:
+        """The workload's quiescence promise at ``ctx.time``, or None.
+
+        Called by the simulator while the platform is on, with ``ctx.time``
+        equal to the workload's current clock (the end of its most recent
+        step) and ``ctx.buffer`` available for wake-voltage lookups.  Must
+        not mutate any state.  The default makes no promise, which is
+        always correct — the engine simply steps such workloads normally.
+        """
+        return None
+
+    def skip_quiescent(self, ctx: StepContext, steps: int, step_dt: float) -> None:
+        """Account for a fast-forwarded quiescent window.
+
+        ``ctx`` spans the whole skipped window (``ctx.time`` its start,
+        ``ctx.dt`` its total duration) which the engine advanced as
+        ``steps`` individual steps of ``step_dt`` seconds; the window lies
+        strictly inside the hint returned by :meth:`quiescent_until`, the
+        platform stayed on throughout, and no wake condition triggered.
+        Implementations must leave the workload in exactly the state the
+        per-step calls would have produced.  The default delegates to one
+        aggregated :meth:`step` call, which is correct whenever ``step``'s
+        quiescent path is insensitive to how the window is partitioned
+        (pure interval-based clock/event accounting); override it when
+        ``step`` does per-step arithmetic or re-evaluates wake conditions.
+        """
+        self.step(ctx)
 
     @abstractmethod
     def on_power_loss(self, time: float) -> None:

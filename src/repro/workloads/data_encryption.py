@@ -8,10 +8,18 @@ paper uses it to characterize software and power overhead (§5.1).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.exceptions import ConfigurationError
-from repro.workloads.base import PowerDemand, StepContext, Workload, WorkloadMetrics
+from repro.workloads.base import (
+    PowerDemand,
+    QuiescenceHint,
+    StepContext,
+    Workload,
+    WorkloadMetrics,
+)
 from repro.workloads.kernels.aes import AES128, aes128_self_test
 
 
@@ -56,6 +64,29 @@ class DataEncryption(Workload):
             self._complete_unit()
         return PowerDemand.active()
 
+    def quiescent_until(self, ctx: StepContext) -> Optional[QuiescenceHint]:
+        """DE's demand is constant ``ACTIVE`` whenever the platform is on.
+
+        There is no timer, event, or wake voltage that changes it, so the
+        promise is unbounded; :meth:`skip_quiescent` replays the per-step
+        progress arithmetic so the work-unit counter stays bit-identical
+        to stepped execution.
+        """
+        return _HINT_ALWAYS_ACTIVE
+
+    def skip_quiescent(self, ctx: StepContext, steps: int, step_dt: float) -> None:
+        # Exact replay of ``steps`` on-steps' progress accumulation: the
+        # float trajectory (and therefore every unit-completion boundary)
+        # must match stepped execution bit for bit.
+        progress = self._progress
+        unit_time = self.unit_time
+        for _ in range(steps):
+            progress += step_dt
+            while progress >= unit_time:
+                progress -= unit_time
+                self._complete_unit()
+        self._progress = progress
+
     def on_power_loss(self, time: float) -> None:
         if self._progress > 0.0:
             # The partially encrypted batch is discarded; its energy is wasted.
@@ -80,3 +111,9 @@ class DataEncryption(Workload):
             self._cipher.encrypt_block(plaintext)
         self._counter += 1
         self._metrics.work_units += 1.0
+
+
+#: DE's one (unbounded) quiescence promise, interned like the demands.
+_HINT_ALWAYS_ACTIVE = QuiescenceHint(
+    no_demand_change_before_time=math.inf, demand=PowerDemand.active()
+)

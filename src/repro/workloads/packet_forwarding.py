@@ -19,7 +19,13 @@ from typing import Deque, Optional
 from repro.exceptions import ConfigurationError
 from repro.platform.events import Event, PoissonEventSource
 from repro.platform.peripherals import Radio
-from repro.workloads.base import PowerDemand, StepContext, Workload, WorkloadMetrics
+from repro.workloads.base import (
+    PowerDemand,
+    QuiescenceHint,
+    StepContext,
+    Workload,
+    WorkloadMetrics,
+)
 from repro.workloads.kernels.crc import crc16_ccitt
 
 
@@ -88,6 +94,47 @@ class PacketForwarding(Workload):
             return self._advance_operation(ctx)
 
         return self._maybe_start_forwarding(ctx)
+
+    def quiescent_until(self, ctx: StepContext) -> Optional[QuiescenceHint]:
+        """Quiescent while listening or waiting for the transmit reserve.
+
+        Both idle states (empty queue, and a queued packet waiting on the
+        longevity reserve) hold a constant deep-sleep-plus-listen demand
+        that only an incoming packet — or, for the waiting state, the
+        reserve filling — can change, so the promise runs to the arrival
+        schedule's next fire time.  An in-flight receive/transmit phase
+        makes no promise (its countdown steps normally), and neither does
+        the one step that places a new longevity request, since that step
+        mutates buffer state.
+        """
+        if self._phase is not None:
+            return None
+        next_arrival = self._arrivals.next_fire_time
+        listening = PowerDemand.deep_sleeping(peripheral_current=self.listen_current)
+        if not self._queue:
+            return QuiescenceHint(
+                no_demand_change_before_time=next_arrival,
+                wake_on_event=True,
+                demand=listening,
+            )
+        if self._waiting_for_energy:
+            return QuiescenceHint(
+                no_demand_change_before_time=next_arrival,
+                wake_on_voltage=ctx.buffer.longevity_wake_voltage(),
+                wake_on_event=True,
+                demand=listening,
+            )
+        return None
+
+    def skip_quiescent(self, ctx: StepContext, steps: int, step_dt: float) -> None:
+        # Advance the arrival cursor over the (arrival-free, by the hint's
+        # guarantee) window; the longevity re-check that ``step`` would
+        # also perform is read-only and deliberately not replayed, so a
+        # reserve filling on the window's final housekeeping cannot start
+        # a forward one step earlier than stepped execution would.
+        end = ctx.time + ctx.dt
+        self._arrivals.events_between(self._last_time, end)
+        self._last_time = end
 
     def on_power_loss(self, time: float) -> None:
         if self._phase == "receive":

@@ -11,12 +11,19 @@ and risk a doomed-to-fail transmission.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.exceptions import ConfigurationError
 from repro.platform.peripherals import Radio
-from repro.workloads.base import PowerDemand, StepContext, Workload, WorkloadMetrics
+from repro.workloads.base import (
+    PowerDemand,
+    QuiescenceHint,
+    StepContext,
+    Workload,
+    WorkloadMetrics,
+)
 from repro.workloads.kernels.crc import crc16_ccitt
 
 
@@ -94,6 +101,41 @@ class RadioTransmit(Workload):
             self._phase = None
             return PowerDemand.active()
         return PowerDemand.active(peripheral_current=self.radio.transmit_current)
+
+    def quiescent_until(self, ctx: StepContext) -> Optional[QuiescenceHint]:
+        """Quiescent while waiting for data or for a longevity reserve.
+
+        Two deep-sleep stretches dominate RT's on-time: an empty backlog
+        (demand fixed until the next sensor reading lands on the
+        ``data_period`` grid) and a pending longevity request (demand
+        fixed until the buffer's reserve condition is met — a wake voltage
+        when the buffer can express one, otherwise the engine guards on
+        the pending request's usable energy).  Any in-flight
+        package/transmit phase makes no promise: its per-step countdown
+        must run on the stepped path.
+        """
+        if self._phase is not None:
+            return None
+        if self._backlog <= 0:
+            return QuiescenceHint(
+                no_demand_change_before_time=self._last_time + self.data_period,
+                demand=PowerDemand.deep_sleeping(),
+            )
+        if self._waiting_for_energy:
+            return QuiescenceHint(
+                no_demand_change_before_time=math.inf,
+                wake_on_voltage=ctx.buffer.longevity_wake_voltage(),
+                demand=PowerDemand.deep_sleeping(),
+            )
+        return None
+
+    def skip_quiescent(self, ctx: StepContext, steps: int, step_dt: float) -> None:
+        # The quiescent step path only advances the data-accumulation
+        # clock; re-evaluating the longevity condition (which ``step``
+        # would also do, read-only) is deliberately skipped so a reserve
+        # that fills on the window's final housekeeping cannot start a
+        # transmission one step earlier than stepped execution would.
+        self._accumulate_data(ctx.time + ctx.dt)
 
     def on_power_loss(self, time: float) -> None:
         if self._phase is not None:

@@ -17,7 +17,13 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.platform.events import PeriodicEventSource
 from repro.platform.peripherals import Microphone
-from repro.workloads.base import PowerDemand, StepContext, Workload, WorkloadMetrics
+from repro.workloads.base import (
+    PowerDemand,
+    QuiescenceHint,
+    StepContext,
+    Workload,
+    WorkloadMetrics,
+)
 from repro.workloads.kernels.fir import FirFilter, design_lowpass
 
 
@@ -102,6 +108,23 @@ class SenseAndCompute(Workload):
             self._phase = None
             self._phase_remaining = 0.0
         return PowerDemand.active()
+
+    def quiescent_until(self, ctx: StepContext) -> Optional[QuiescenceHint]:
+        """Quiescent (idle in sleep) between measurements.
+
+        While no measurement phase is running and no deadline is pending
+        the demand stays :meth:`PowerDemand.sleeping` until the next
+        sensing deadline fires; the default :meth:`skip_quiescent` (one
+        aggregated step) is exact because the quiescent ``step`` path only
+        performs interval-based deadline accounting.
+        """
+        if self._phase is not None or self._pending_deadline:
+            return None
+        return QuiescenceHint(
+            no_demand_change_before_time=self._deadlines.next_fire_time,
+            wake_on_event=True,
+            demand=PowerDemand.sleeping(),
+        )
 
     def on_power_loss(self, time: float) -> None:
         if self._phase is not None:

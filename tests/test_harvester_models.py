@@ -50,6 +50,18 @@ class TestSolarPanel:
         with pytest.raises(ValueError):
             diurnal_irradiance(duration=0.0)
 
+    @pytest.mark.parametrize("samples", [1, 2, 3, 7])
+    def test_diurnal_irradiance_short_timelines_keep_their_shape(self, samples):
+        """Timelines shorter than the cloud-smoothing window (even shorter
+        than its 3-sample floor) must come back sample for sample:
+        np.convolve's "same" mode returns the *kernel's* length when the
+        kernel is the longer operand."""
+        irradiance = diurnal_irradiance(
+            duration=samples * 5.0, sample_period=5.0, sunrise=0.0, sunset=600.0
+        )
+        assert irradiance.shape == (samples,)
+        assert (irradiance >= 0.0).all()
+
 
 class TestRfHarvester:
     def test_dbm_conversions_round_trip(self):

@@ -181,3 +181,72 @@ class TestEventSources:
     def test_poisson_validation(self):
         with pytest.raises(ConfigurationError):
             PoissonEventSource(mean_interarrival=0.0)
+
+
+class TestPeriodicEmptyIntervalCursor:
+    """The O(1) empty-interval fast path and its cached next-event cursor.
+
+    The cursor backs two engine features: workload quiescence hints (via
+    ``next_fire_time``) and mid-flight resumption — a batch lane handed to
+    the scalar engine resumes its monotone window sequence from an
+    arbitrary ``start_time``, and a fresh source must answer a sequence
+    that *starts* mid-schedule just as correctly as one that grew into it.
+    """
+
+    def test_cursor_stays_exact_across_empty_windows(self):
+        source = PeriodicEventSource(period=5.0)
+        assert source.next_fire_time == 0.0
+        assert [e.time for e in source.events_between(0.0, 0.1)] == [0.0]
+        assert source.next_fire_time == 5.0
+        # A long run of empty windows rides the cached-cursor fast path
+        # without disturbing the next-event time.
+        time = 0.1
+        while time < 4.9:
+            assert source.events_between(time, time + 0.1) == []
+            assert source.next_fire_time == 5.0
+            time += 0.1
+        assert [e.time for e in source.events_between(time, time + 0.2)] == [5.0]
+        assert source.next_fire_time == 10.0
+
+    def test_reset_restores_the_cursor(self):
+        source = PeriodicEventSource(period=5.0, phase=2.0)
+        source.events_between(0.0, 13.0)
+        assert source.next_fire_time == 17.0
+        source.reset()
+        assert source.next_fire_time == 2.0
+        # Post-reset queries replay the schedule from the top, fast path
+        # included.
+        assert source.events_between(0.0, 1.0) == []
+        assert source.next_fire_time == 2.0
+        assert [e.time for e in source.events_between(1.0, 2.5)] == [2.0]
+
+    def test_mid_flight_resume_starts_the_cursor_mid_schedule(self):
+        """A fresh source queried from ``start_time`` onward (the scalar
+        tail hand-off shape) must agree with one that stepped from zero."""
+        grown = PeriodicEventSource(period=5.0)
+        resumed = PeriodicEventSource(period=5.0)
+        time = 0.0
+        while time < 17.3:
+            grown.events_between(time, time + 0.1)
+            time = time + 0.1
+        # The resumed source sees one aggregated catch-up window (exactly
+        # what the engine's aggregated off-step delivers on resume)...
+        caught_up = resumed.events_between(0.0, time)
+        assert [e.time for e in caught_up] == [0.0, 5.0, 10.0, 15.0]
+        # ...after which both cursors agree on the empty-interval fast path
+        # and the next deadline.
+        assert resumed.next_fire_time == grown.next_fire_time == 20.0
+        for _ in range(20):
+            assert grown.events_between(time, time + 0.1) == []
+            assert resumed.events_between(time, time + 0.1) == []
+            time += 0.1
+        assert resumed.next_fire_time == grown.next_fire_time == 20.0
+
+    def test_rewinding_query_falls_back_to_exact_arithmetic(self):
+        source = PeriodicEventSource(period=5.0)
+        source.events_between(0.0, 12.0)
+        assert source.next_fire_time == 15.0
+        # A non-monotone (rewound) query is answered exactly and re-syncs
+        # the cursor to its window end.
+        assert [e.time for e in source.events_between(4.0, 6.0)] == [5.0]
+        assert source.next_fire_time == 10.0
