@@ -13,6 +13,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, Hashable, Optional, Tuple
 
+import numpy as np
+
 
 @dataclass
 class BufferLedger:
@@ -54,6 +56,155 @@ class BufferLedger:
         if self.offered <= 0.0:
             return 0.0
         return self.delivered / self.offered
+
+
+class LockstepKernel:
+    """Shared fast-forward machinery for batch lockstep kernels.
+
+    A lockstep kernel (:class:`~repro.buffers.static.StaticBatchKernel`,
+    :class:`~repro.buffers.morphy_batch.MorphyBatchKernel`) advances many
+    lanes per step through vectorized ``harvest`` / ``draw`` /
+    ``housekeeping`` hooks that mirror the scalar buffer arithmetic bit for
+    bit.  This base class adds the vectorized counterparts of the scalar
+    :meth:`EnergyBuffer.fast_forward` / :meth:`~EnergyBuffer.fast_forward_on`
+    entry points: given a :class:`~repro.sim.segments.LaneSegmentPlan`, each
+    lane replays up to its per-lane step budget of whole-segment steps
+    through the kernel's own hooks, with lanes that stopped (or never
+    started) masked to exact no-op inputs — zero energy, zero load, zero
+    ``dt``, and a ``-inf`` housekeeping timestamp so no controller poll can
+    fire for a frozen lane.
+
+    Because the replay goes through the same hooks as the lockstep main
+    loop, a fast-forwarded lane's trajectory and ledger are bit-identical
+    to stepping it normally; the speedup comes from collapsing whole
+    segments of the batch engine's per-iteration Python dispatch (workload
+    hint checks, gating, retirement scans) into this tight loop.  The stop
+    checks are exact wherever :meth:`_post_harvest_voltage` is exact
+    (statics/Dewdrop override it with the closed-form post-harvest voltage)
+    and conservative otherwise (Morphy inherits the upper *bound*, so its
+    lanes may stop a step early and resume under normal stepping — never
+    skipping past a transition).
+
+    Subclasses must provide the kernel protocol this class drives:
+    ``voltage``, ``post_harvest_voltage_bound``, ``harvest``, ``draw``,
+    ``housekeeping`` and ``drained_mask``.
+    """
+
+    #: Whether the batch engine may fast-forward whole segments through
+    #: this kernel.  True for any kernel whose hooks treat zero-energy /
+    #: zero-``dt`` inputs as exact no-ops (required for the lane masking).
+    supports_fast_forward = True
+
+    #: Replay economics hint for the batch engine: when True, only plans
+    #: covering *every* lane are worth executing through this kernel.  The
+    #: generic array replay below pays one full-width vectorized step per
+    #: committed step — about the price of a lockstep main-loop step — so
+    #: it only wins when it replaces main-loop iterations outright (all
+    #: lanes skipping together); replaying a partial lane group would run
+    #: the heavy hooks twice per simulated step.  Kernels with a cheap
+    #: per-lane replay (the static kernel's inlined float loop) leave this
+    #: False and profit from any group size.
+    fast_forward_needs_full_batch = True
+
+    #: Housekeeping timestamp for masked lanes: no poll schedule can be due
+    #: at ``-inf``, so a frozen lane's controller never runs.
+    _NEVER = float("-inf")
+
+    def _post_harvest_voltage(self, energy: np.ndarray) -> np.ndarray:
+        """Per-lane post-harvest output voltage, or an upper bound on it.
+
+        Used for the pre-commit ``stop_above`` check.  The default is the
+        kernel's :meth:`post_harvest_voltage_bound`; kernels whose exact
+        post-harvest voltage has a closed form override this so the check
+        matches the gate's observation point bit for bit.
+        """
+        return self.post_harvest_voltage_bound(energy)
+
+    def fast_forward(self, energy_in, load, dt, times, plan):
+        """Advance off-phase lanes through whole-segment replay.
+
+        ``energy_in`` / ``load`` are per-lane constants over the planned
+        segments (delivered energy per step, gate quiescent plus buffer
+        overhead current); ``times`` is the per-lane clock array, which is
+        not mutated — a fresh array with ``dt`` added once per committed
+        step (the scalar engine's additive accumulation) is returned along
+        with the per-lane committed step counts.
+        """
+        max_steps = plan.steps
+        stop_above = plan.stop_above
+        stop_below = plan.stop_below
+        drain_floor = plan.drain_floor
+        check_drain = bool(np.isfinite(drain_floor).any())
+        harvesting = bool(np.any(energy_in > 0.0))
+        stepping = max_steps > 0
+        consumed = np.zeros(len(max_steps), dtype=np.int64)
+        times = times.copy()
+        never = np.full(len(max_steps), self._NEVER)
+        while True:
+            # Pre-commit: no committed step's post-harvest voltage may
+            # reach stop_above (the gate would engage / the efficiency
+            # region would change on a step the engine must run normally).
+            stepping &= self.voltage < stop_above
+            if harvesting and stepping.any():
+                energy = np.where(stepping, energy_in, 0.0)
+                stepping &= self._post_harvest_voltage(energy) < stop_above
+            if not stepping.any():
+                break
+            if harvesting:
+                self.harvest(np.where(stepping, energy_in, 0.0))
+            masked_dt = np.where(stepping, dt, 0.0)
+            self.draw(np.where(stepping, load, 0.0), masked_dt)
+            self.housekeeping(np.where(stepping, times, never), masked_dt)
+            times = np.where(stepping, times + dt, times)
+            consumed += stepping
+            # Post-commit: the committed step used the correct pre-crossing
+            # power; a lane that ended below an efficiency breakpoint (or
+            # past the drain termination test) stops here.
+            stepping &= ~(self.voltage < stop_below)
+            if check_drain:
+                stepping &= ~self.drained_mask(drain_floor)
+            stepping &= consumed < max_steps
+        return consumed, times
+
+    def fast_forward_on(self, energy_in, load, dt, times, plan, brownout_floor):
+        """Advance quiescent on-phase lanes through whole-segment replay.
+
+        The on-phase analogue of :meth:`fast_forward`: ``load`` is each
+        lane's promised constant demand (MCU mode + peripherals + gate
+        quiescent + buffer overhead, as cached by the batch engine's hint
+        masks) and the stop set swaps the drain test for the gate's
+        brown-out floor, checked at each step *start* — harvesting can
+        only raise the voltage, so a step starting above the floor cannot
+        brown out mid-step, while a step starting at or below it might and
+        is left to the engine's exact machinery to resolve.
+        """
+        max_steps = plan.steps
+        stop_above = plan.stop_above
+        stop_below = plan.stop_below
+        harvesting = bool(np.any(energy_in > 0.0))
+        stepping = max_steps > 0
+        consumed = np.zeros(len(max_steps), dtype=np.int64)
+        times = times.copy()
+        never = np.full(len(max_steps), self._NEVER)
+        while True:
+            voltage = self.voltage
+            stepping &= ~(voltage <= brownout_floor)
+            stepping &= voltage < stop_above
+            if harvesting and stepping.any():
+                energy = np.where(stepping, energy_in, 0.0)
+                stepping &= self._post_harvest_voltage(energy) < stop_above
+            if not stepping.any():
+                break
+            if harvesting:
+                self.harvest(np.where(stepping, energy_in, 0.0))
+            masked_dt = np.where(stepping, dt, 0.0)
+            self.draw(np.where(stepping, load, 0.0), masked_dt)
+            self.housekeeping(np.where(stepping, times, never), masked_dt)
+            times = np.where(stepping, times + dt, times)
+            consumed += stepping
+            stepping &= ~(self.voltage < stop_below)
+            stepping &= consumed < max_steps
+        return consumed, times
 
 
 class EnergyBuffer(ABC):

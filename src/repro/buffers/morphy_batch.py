@@ -52,12 +52,12 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.buffers.base import EnergyBuffer
+from repro.buffers.base import EnergyBuffer, LockstepKernel
 from repro.buffers.morphy import MorphyBuffer
 from repro.capacitors.leakage import stack_proportional_leakage
 
 
-class MorphyBatchKernel:
+class MorphyBatchKernel(LockstepKernel):
     """Vectorized lockstep state for N topology-sharing Morphy lanes.
 
     The per-lane :class:`~repro.buffers.morphy.MorphyBuffer` objects stay
@@ -65,6 +65,28 @@ class MorphyBatchKernel:
     telemetry workloads read) while the electrical state advances through
     the shared arrays; :meth:`sync_lane` / :meth:`finalize_lane` write a
     lane's array state back into its buffer object.
+
+    Segment fast-forwarding (:meth:`~repro.buffers.base.LockstepKernel.fast_forward`
+    and its on-phase twin) is inherited in its *conservative* form: the
+    pre-commit ``stop_above`` check uses :meth:`post_harvest_voltage_bound`
+    rather than the exact post-harvest output (which for Morphy emerges
+    from the charge split across the switch network and has no cheap
+    closed form), so a lane may leave fast-forward a step early and resume
+    under normal stepping — the same conservatism the scalar engine's
+    generic :meth:`~repro.buffers.base.EnergyBuffer.fast_forward` applies
+    to Morphy.  Controller polls still run on schedule inside the replay
+    (the masked housekeeping timestamps are each stepping lane's own
+    clock), so reconfigurations land on exactly the step they would under
+    normal stepping; a reconfiguration that jumps the output voltage is
+    caught by the next iteration's pre-commit checks, again exactly like
+    the scalar fast path.
+
+    The inherited ``fast_forward_needs_full_batch = True`` stays in force:
+    Morphy's per-step hooks sweep the whole ``lanes × caps`` state, so a
+    replayed step costs about a lockstep main-loop step and only a plan
+    covering every lane (the batch engine then skips its iteration
+    entirely) can come out ahead; partial lane groups step normally under
+    the hint masks instead.
     """
 
     def __init__(self, buffers: Sequence[MorphyBuffer]) -> None:

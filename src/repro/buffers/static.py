@@ -14,7 +14,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.buffers.base import EnergyBuffer
+from repro.buffers.base import EnergyBuffer, LockstepKernel
 from repro.capacitors.array import CapacitorArray
 from repro.capacitors.capacitor import Capacitor
 from repro.capacitors.leakage import (
@@ -345,7 +345,7 @@ class StaticBuffer(EnergyBuffer):
         self._reset_base()
 
 
-class StaticBatchKernel:
+class StaticBatchKernel(LockstepKernel):
     """Vectorized lockstep state for N static-capacitor buffer lanes.
 
     One kernel instance backs every batchable lane of a
@@ -359,6 +359,10 @@ class StaticBatchKernel:
     capacitor ledger entries are the buffer ledger entries for a single-cap
     design, with ``offered`` tracked separately.
     """
+
+    #: The per-lane inlined replay below costs a handful of float ops per
+    #: lane-step, so fast-forwarding pays off for any lane-group size.
+    fast_forward_needs_full_batch = False
 
     def __init__(self, buffers: Sequence[StaticBuffer], caps: CapacitorArray) -> None:
         self.buffers = list(buffers)
@@ -393,6 +397,25 @@ class StaticBatchKernel:
             energy > 0.0, np.sqrt(2.0 * new_energy / caps.capacitance), voltage
         )
 
+    def _post_harvest_voltage(self, energy: np.ndarray) -> np.ndarray:
+        """Exact post-harvest output voltage, making segment replay exact.
+
+        :meth:`~repro.capacitors.array.CapacitorArray.charge_with_energy`
+        stores ``C * sqrt(2 E / C)`` as the new charge and the gate then
+        observes ``charge / C``; evaluating that same round trip here (not
+        the bound's bare ``sqrt``, which can differ in the last ulp) makes
+        the fast-forward ``stop_above`` decision identical to the voltage
+        the lockstep gate check would see, so whole-segment replay commits
+        exactly the steps normal stepping would.
+        """
+        caps = self.caps
+        capacitance = caps.capacitance
+        voltage = caps.voltage
+        present = caps.energy(voltage)
+        new_energy = np.minimum(present + energy, caps.max_energy)
+        post_charge = capacitance * np.sqrt(2.0 * new_energy / capacitance)
+        return np.where(energy > 0.0, post_charge / capacitance, voltage)
+
     def harvest(self, energy: np.ndarray) -> None:
         """Vectorized :meth:`StaticBuffer.harvest` for one lockstep step."""
         self.offered += energy
@@ -424,6 +447,180 @@ class StaticBatchKernel:
         stored = caps.energy(voltage)
         needed = 0.5 * caps.capacitance * enable_voltage * enable_voltage
         return (voltage < enable_voltage) & ~(stored >= needed)
+
+    # -- whole-segment replay ------------------------------------------------
+
+    def fast_forward(self, energy_in, load, dt, times, plan):
+        """Per-lane inlined off-phase replay (see :meth:`_replay`)."""
+        return self._replay(
+            energy_in,
+            load,
+            dt,
+            times,
+            plan.steps,
+            plan.stop_above,
+            plan.stop_below,
+            drain_floor=plan.drain_floor,
+            brownout_floor=None,
+        )
+
+    def fast_forward_on(self, energy_in, load, dt, times, plan, brownout_floor):
+        """Per-lane inlined on-phase replay (see :meth:`_replay`)."""
+        return self._replay(
+            energy_in,
+            load,
+            dt,
+            times,
+            plan.steps,
+            plan.stop_above,
+            plan.stop_below,
+            drain_floor=None,
+            brownout_floor=brownout_floor,
+        )
+
+    def _replay(
+        self,
+        energy_in,
+        load,
+        dt,
+        times,
+        max_steps,
+        stop_above,
+        stop_below,
+        drain_floor,
+        brownout_floor,
+    ):
+        """Whole-segment replay on local Python floats, one lane at a time.
+
+        Overrides the generic :class:`~repro.buffers.base.LockstepKernel`
+        array replay: a static lane's per-step update is only a handful of
+        float operations (the same harvest → draw → leak recurrence
+        :meth:`StaticBuffer.fast_forward` inlines for the scalar engine),
+        so replaying each lane in a local-variable loop beats per-step
+        vectorized dispatch on every batch width that fits in memory.  The
+        expressions, their order, and the per-step running-total ledger
+        accumulation replicate :class:`~repro.capacitors.array.CapacitorArray`
+        operation for operation — python floats and numpy float64 share
+        IEEE-754 double arithmetic — so the committed trajectory *and*
+        ledger stay bit-identical to lockstep stepping, and the stop set
+        matches the generic replay's (exact post-harvest voltage above,
+        efficiency breakpoint below, brown-out floor / drain termination).
+        """
+        consumed = np.zeros(len(max_steps), dtype=np.int64)
+        times = times.copy()
+        lanes = np.nonzero(max_steps > 0)[0].tolist()
+        if not lanes:
+            return consumed, times
+        caps = self.caps
+        capacitance_list = caps.capacitance.tolist()
+        max_energy_list = caps.max_energy.tolist()
+        leak_current_list = caps.leak_rated_current.tolist()
+        leak_voltage_list = caps.leak_rated_voltage.tolist()
+        charge_list = caps.charge.tolist()
+        absorbed_list = caps.absorbed.tolist()
+        clipped_list = caps.clipped.tolist()
+        delivered_list = caps.delivered.tolist()
+        leaked_list = caps.leaked.tolist()
+        offered_list = self.offered.tolist()
+        energy_list = np.asarray(energy_in).tolist()
+        load_list = np.asarray(load).tolist()
+        budget_list = max_steps.tolist()
+        above_list = stop_above.tolist()
+        below_list = stop_below.tolist()
+        drain_list = drain_floor.tolist() if drain_floor is not None else None
+        floor_list = (
+            np.asarray(brownout_floor).tolist()
+            if brownout_floor is not None
+            else None
+        )
+        time_list = times.tolist()
+        dt = float(dt)
+        sqrt = math.sqrt
+        never = float("-inf")
+        for i in lanes:
+            capacitance = capacitance_list[i]
+            max_energy = max_energy_list[i]
+            leak_current = leak_current_list[i]
+            leak_voltage = leak_voltage_list[i]
+            energy_step = energy_list[i]
+            current = load_list[i]
+            above = above_list[i]
+            below = below_list[i]
+            floor = floor_list[i] if floor_list is not None else never
+            budget = budget_list[i]
+            charge = charge_list[i]
+            absorbed = absorbed_list[i]
+            clipped = clipped_list[i]
+            delivered = delivered_list[i]
+            leaked = leaked_list[i]
+            offered = offered_list[i]
+            lane_time = time_list[i]
+            if drain_list is not None:
+                drain = drain_list[i]
+                check_drain = drain > never
+                needed = 0.5 * capacitance * drain * drain if check_drain else 0.0
+            else:
+                drain = never
+                check_drain = False
+                needed = 0.0
+            steps = 0
+            while steps < budget:
+                voltage = charge / capacitance
+                if voltage <= floor:
+                    break
+                if voltage >= above:
+                    break
+                if energy_step > 0.0:
+                    present = 0.5 * capacitance * voltage * voltage
+                    new_energy = present + energy_step
+                    if new_energy > max_energy:
+                        new_energy = max_energy
+                    post_charge = capacitance * sqrt(
+                        2.0 * new_energy / capacitance
+                    )
+                    if post_charge / capacitance >= above:
+                        break
+                    offered += energy_step
+                    stored = new_energy - present
+                    absorbed += stored
+                    clipped += energy_step - stored
+                    charge = post_charge
+                # Load draw (charge domain, floored at zero).
+                voltage = charge / capacitance
+                before = 0.5 * capacitance * voltage * voltage
+                new_charge = charge - current * dt
+                if new_charge < 0.0:
+                    new_charge = 0.0
+                charge = new_charge
+                voltage = charge / capacitance
+                delivered += before - 0.5 * capacitance * voltage * voltage
+                # Leakage (the vectorized proportional model's expression).
+                if voltage > 0.0:
+                    lost = leak_current * (voltage / leak_voltage) * dt
+                    if lost > charge:
+                        lost = charge
+                else:
+                    lost = 0.0
+                before = 0.5 * capacitance * voltage * voltage
+                charge = charge - lost
+                voltage = charge / capacitance
+                leaked += before - 0.5 * capacitance * voltage * voltage
+                lane_time += dt
+                steps += 1
+                if voltage < below:
+                    break
+                if check_drain and voltage < drain:
+                    if not (0.5 * capacitance * voltage * voltage >= needed):
+                        break
+            caps.charge[i] = charge
+            caps.absorbed[i] = absorbed
+            caps.clipped[i] = clipped
+            caps.delivered[i] = delivered
+            caps.leaked[i] = leaked
+            self.offered[i] = offered
+            times[i] = lane_time
+            consumed[i] = steps
+        return consumed, times
 
     def compact(self, keep: np.ndarray) -> None:
         """Drop retired lanes from the shared arrays."""

@@ -415,8 +415,17 @@ class PoolBatchBackend:
     serially — so this backend stacks both speedups and also parallelizes
     the scalar remainder.
 
-    Lane arithmetic is elementwise, so a lane's counters are independent of
+    Shards are contiguous slices of one (trace, kernel) lane group and
+    never mix groups: every lane in a shard shares the trace, the timestep
+    pair, and the lockstep kernel family, which is exactly what the
+    segment planner assumes when it fast-forwards a shard's lanes through
+    whole-segment kernel replays.  Lane arithmetic — stepped or replayed —
+    is elementwise and bit-exact, so a lane's counters are independent of
     which shard it lands in; sharding changes throughput, never results.
+    (Throughput *can* depend on shard membership: a kernel with
+    ``fast_forward_needs_full_batch`` only skips a segment when every lane
+    in its shard agrees on the plan, so narrower shards skip more often
+    but amortize less per step.)
     """
 
     workers: int = 2

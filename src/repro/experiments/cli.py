@@ -74,6 +74,15 @@ def build_parser() -> argparse.ArgumentParser:
             "--workers N, of --backend pool+batch)"
         ),
     )
+    parser.add_argument(
+        "--no-fast-forward",
+        action="store_true",
+        help=(
+            "disable segment fast-forwarding and simulate strictly step by "
+            "step on every backend (slower; the fast paths are bit-exact, "
+            "so this exists for cross-checking and debugging)"
+        ),
+    )
     return parser
 
 
@@ -91,6 +100,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         workers=args.workers,
         batch=args.batch,
         backend=args.backend,
+        fast_forward=not args.no_fast_forward,
     )
     pooled = args.workers is not None and args.workers > 1
     if args.backend is None and (args.batch or pooled):

@@ -79,6 +79,7 @@ from repro.exceptions import SimulationError
 from repro.platform.mcu import PowerMode
 from repro.sim.engine import Simulator
 from repro.sim.results import SimulationResult
+from repro.sim.segments import LaneSegmentPlanner
 from repro.sim.system import BatterylessSystem
 from repro.workloads.base import StepContext
 
@@ -409,6 +410,31 @@ class BatchSimulator:
         # power_at/powers_at by the trace tests.
         powers_padded, sentinel_index = trace.zero_order_hold_table()
         sample_period = trace.sample_period
+        # Lane-group segment fast-forwarding: whole constant-power segments
+        # (shared planner contract with the scalar engine — see
+        # repro.sim.segments) replayed through the kernel's vectorized
+        # fast_forward/fast_forward_on before falling back to a normal
+        # lockstep step for the disagreeing minority of lanes.
+        breakpoints = regulator.efficiency_breakpoints()
+        use_fast_forward = (
+            self.fast_forward
+            and breakpoints is not None
+            and getattr(kernel, "supports_fast_forward", False)
+            and all(b.can_fast_forward() for b in buffers)
+        )
+        lane_planner = (
+            LaneSegmentPlanner(
+                sample_period,
+                sentinel_index,
+                trace_duration,
+                hard_stop,
+                breakpoints,
+                dt_on,
+                dt_off,
+            )
+            if use_fast_forward
+            else None
+        )
         iterations = 0
         if n <= scalar_tail_lanes:
             # Too narrow for an array step to ever pay for itself: run every
@@ -511,6 +537,146 @@ class BatchSimulator:
 
             lanes = len(buffers)
 
+            # -- segment fast-forward (lane groups skip whole segments) --
+            # Lanes whose next stretch is provably eventless — off lanes
+            # inside one trace segment below every stop, on lanes inside a
+            # live quiescence-hint window — replay it in one vectorized
+            # whole-segment update through the kernel (bit-identical to
+            # stepping, see LockstepKernel); only the disagreeing minority
+            # falls through to the normal lockstep step below, with the
+            # fast-forwarded lanes masked to exact no-ops.
+            have_skipped = False
+            skipped = None
+            if use_fast_forward:
+                needs_full_batch = kernel.fast_forward_needs_full_batch
+                budget = self.max_steps - iterations
+                voltage = kernel.voltage
+                raw = powers_padded[
+                    np.minimum(
+                        (time / sample_period).astype(np.int64), sentinel_index
+                    )
+                ]
+                delivered = regulator.delivered_power_batch(raw, voltage)
+                raw_list = raw.tolist()
+                delivered_list = delivered.tolist()
+                if n_enabled < lanes and (not needs_full_batch or n_enabled == 0):
+                    plan = lane_planner.plan_off(
+                        time, voltage, ~enabled, enable_voltage, budget
+                    )
+                    group = plan.steps > 0
+                    if group.any() and (
+                        not needs_full_batch or bool(group.all())
+                    ):
+                        consumed, new_time = kernel.fast_forward(
+                            delivered * dt_off, off_load, dt_off, time, plan
+                        )
+                        if consumed.any():
+                            # Per-step additive energy accounting (the same
+                            # additions, in the same order, the masked main
+                            # loop would have performed per lane).
+                            consumed_list = consumed.tolist()
+                            for index in np.nonzero(consumed)[0].tolist():
+                                steps_taken = consumed_list[index]
+                                raw_power = raw_list[index]
+                                if raw_power > 0.0:
+                                    add = raw_power * dt_off
+                                    total = float(raw_energy[index])
+                                    for _ in range(steps_taken):
+                                        total += add
+                                    raw_energy[index] = total
+                                power = delivered_list[index]
+                                if power > 0.0:
+                                    add = power * dt_off
+                                    total = float(delivered_energy[index])
+                                    for _ in range(steps_taken):
+                                        total += add
+                                    delivered_energy[index] = total
+                            time = new_time
+                            skipped = consumed > 0
+                if n_enabled:
+                    until = np.asarray(hint_until)
+                    on_mask = enabled & (until != minus_infinity)
+                    if on_mask.any() and (
+                        not needs_full_batch or bool(on_mask.all())
+                    ):
+                        plan = lane_planner.plan_on(
+                            time,
+                            voltage,
+                            on_mask,
+                            until,
+                            np.asarray(hint_wake),
+                            budget,
+                        )
+                        group = plan.steps > 0
+                        if group.any() and (
+                            not needs_full_batch or bool(group.all())
+                        ):
+                            pre_times = time
+                            consumed, new_time = kernel.fast_forward_on(
+                                delivered * dt_on,
+                                np.asarray(hint_load),
+                                dt_on,
+                                time,
+                                plan,
+                                brownout_voltage,
+                            )
+                            if consumed.any():
+                                consumed_list = consumed.tolist()
+                                start_list = pre_times.tolist()
+                                for index in np.nonzero(consumed)[0].tolist():
+                                    steps_taken = consumed_list[index]
+                                    raw_power = raw_list[index]
+                                    if raw_power > 0.0:
+                                        add = raw_power * dt_on
+                                        total = float(raw_energy[index])
+                                        for _ in range(steps_taken):
+                                            total += add
+                                        raw_energy[index] = total
+                                    power = delivered_list[index]
+                                    if power > 0.0:
+                                        add = power * dt_on
+                                        total = float(delivered_energy[index])
+                                        for _ in range(steps_taken):
+                                            total += add
+                                        delivered_energy[index] = total
+                                    # Replay the hint mask's per-step mode
+                                    # accounting and extend the pending
+                                    # skipped window (flushed through
+                                    # skip_quiescent when the hint ends).
+                                    mode = hint_mode[index]
+                                    if mode is PowerMode.SLEEP:
+                                        total = time_sleep[index]
+                                        for _ in range(steps_taken):
+                                            total += dt_on
+                                        time_sleep[index] = total
+                                    elif mode is PowerMode.ACTIVE:
+                                        total = time_active[index]
+                                        for _ in range(steps_taken):
+                                            total += dt_on
+                                        time_active[index] = total
+                                    elif mode is PowerMode.DEEP_SLEEP:
+                                        total = time_deep_sleep[index]
+                                        for _ in range(steps_taken):
+                                            total += dt_on
+                                        time_deep_sleep[index] = total
+                                    if skip_steps[index] == 0:
+                                        skip_start[index] = start_list[index]
+                                    skip_steps[index] += steps_taken
+                                time = new_time
+                                on_skipped = consumed > 0
+                                skipped = (
+                                    on_skipped
+                                    if skipped is None
+                                    else skipped | on_skipped
+                                )
+                if skipped is not None:
+                    if bool(skipped.all()):
+                        # Every lane advanced by whole segments: no normal
+                        # step needed this iteration at all.
+                        iterations += 1
+                        continue
+                    have_skipped = True
+
             # -- 0. per-lane timestep (with batched gate-enable prediction) --
             voltage = kernel.voltage
             if n_enabled == lanes:
@@ -521,6 +687,16 @@ class BatchSimulator:
                 dt = np.where(enabled, dt_on, dt_off)
             if all_past_trace:
                 harvesting = False
+                if predict_enable and n_enabled < lanes:
+                    # No harvest can arrive, but the bound still matters: a
+                    # Morphy controller poll can chain groups in series and
+                    # raise the output voltage across the enable threshold
+                    # without any energy input.  The scalar engine keeps
+                    # predicting past the trace end (its bound of zero
+                    # energy degenerates to the present voltage), so the
+                    # batch must too or the dt_off->dt_on switch lands one
+                    # step late and the additive clocks drift.
+                    dt = np.where(~enabled & (voltage >= enable_voltage), dt_on, dt)
             else:
                 raw = powers_padded[
                     np.minimum(
@@ -536,6 +712,12 @@ class BatchSimulator:
                     # threshold — exactly the scalar engine's behaviour.
                     bound = kernel.post_harvest_voltage_bound(delivered * dt_off)
                     dt = np.where(~enabled & (bound >= enable_voltage), dt_on, dt)
+            if have_skipped:
+                # Fast-forwarded lanes already consumed this iteration's
+                # wall-clock budget: zero dt turns every per-lane update
+                # below (ledger adds, harvest, draw, leakage) into an exact
+                # bitwise no-op for them.
+                dt = np.where(skipped, 0.0, dt)
 
             # -- 1. harvest --
             # Raw energy accrues whenever the trace is live (the scalar
@@ -564,6 +746,15 @@ class BatchSimulator:
             else:
                 enabling = ~enabled & (voltage >= enable_voltage)
                 changed = enabling | (enabled & (voltage <= brownout_voltage))
+            if have_skipped:
+                # A fast-forwarded lane's plan stops *before* any step whose
+                # post-harvest voltage could cross a gate threshold, so no
+                # transition can hide inside the skipped segment; the lane's
+                # next normal step re-runs this check at the proper
+                # observation point.
+                changed = changed & ~skipped
+                if enabling is not None:
+                    enabling = enabling & ~skipped
             if changed.any():
                 browning = changed if enabling is None else changed & ~enabling
                 if enabling is not None and enabling.any():
@@ -599,7 +790,10 @@ class BatchSimulator:
                 load = off_load.copy()
                 time_list = time.tolist()
                 dt_list = dt.tolist()
-                on_indices = np.nonzero(enabled)[0].tolist()
+                if have_skipped:
+                    on_indices = np.nonzero(enabled & ~skipped)[0].tolist()
+                else:
+                    on_indices = np.nonzero(enabled)[0].tolist()
                 step_indices = []
                 if use_hints:
                     end_list = end_time.tolist()
@@ -692,10 +886,19 @@ class BatchSimulator:
                         )
             else:
                 load = off_load
+            if have_skipped:
+                # Zero the load too: a zero current (not just zero dt) is
+                # what makes the draw an exact no-op for every kernel.
+                load = np.where(skipped, 0.0, load)
             kernel.draw(load, dt)
 
             # -- 4. buffer housekeeping (leakage + controller polling) --
-            kernel.housekeeping(time, dt)
+            if have_skipped:
+                # Suppress time-triggered controller polls for lanes whose
+                # clocks already ran ahead during the segment replay.
+                kernel.housekeeping(np.where(skipped, minus_infinity, time), dt)
+            else:
+                kernel.housekeeping(time, dt)
 
             time = end_time
             iterations += 1

@@ -86,32 +86,9 @@ from repro.exceptions import SimulationError
 from repro.platform.mcu import PowerMode
 from repro.sim.recorder import Recorder
 from repro.sim.results import SimulationResult
+from repro.sim.segments import SegmentPlanner
 from repro.sim.system import BatterylessSystem
 from repro.workloads.base import StepContext
-
-
-_INFINITY = float("inf")
-
-
-def _efficiency_stops(voltage, breakpoints, ceiling):
-    """(stop_above, stop_below) fast-forward bounds for a constant-power run.
-
-    Harvested power changes when the buffer voltage crosses a regulator
-    efficiency breakpoint in either direction, so a fast-forwarded
-    interval must stop at the nearest breakpoint above and below the
-    present ``voltage``.  ``ceiling`` seeds the upper stop with a bound of
-    the caller's own (the gate's enable voltage off-phase, a quiescence
-    hint's wake voltage on-phase) or None.
-    """
-    stop_above = ceiling
-    stop_below = None
-    for breakpoint_voltage in breakpoints:
-        if voltage < breakpoint_voltage:
-            if stop_above is None or breakpoint_voltage < stop_above:
-                stop_above = breakpoint_voltage
-        elif stop_below is None or breakpoint_voltage > stop_below:
-            stop_below = breakpoint_voltage
-    return stop_above, stop_below
 
 
 class Simulator:
@@ -179,6 +156,14 @@ class Simulator:
         use_fast_forward = (
             self.fast_forward and breakpoints is not None and buffer.can_fast_forward()
         )
+        # All segment-boundary arithmetic (trace edges, recorder points,
+        # efficiency breakpoints, hint expiry margins, drain/wake guards)
+        # lives in the planner; this engine only executes the plans.
+        planner = (
+            SegmentPlanner(frontend, recorder, trace_duration, hard_stop, breakpoints)
+            if use_fast_forward
+            else None
+        )
         predict_enable = dt_off > dt_on
         # Bound-method locals: the loop below runs tens of thousands of
         # times per simulated trace, so attribute lookups are hoisted out.
@@ -207,8 +192,7 @@ class Simulator:
             if gate.enabled:
                 if use_fast_forward and last_demand is not None:
                     consumed, time = self._advance_on_phase(
-                        time, hard_stop, breakpoints, last_demand,
-                        self.max_steps - steps,
+                        time, planner, last_demand, self.max_steps - steps
                     )
                     if consumed:
                         steps += consumed
@@ -217,7 +201,7 @@ class Simulator:
             else:
                 if use_fast_forward:
                     consumed, time = self._advance_off_phase(
-                        time, trace_duration, hard_stop, breakpoints, self.max_steps - steps
+                        time, planner, self.max_steps - steps
                     )
                     if consumed:
                         steps += consumed
@@ -307,12 +291,12 @@ class Simulator:
             wall_clock_seconds=wall_clock.perf_counter() - started_at,
         )
 
-    def _advance_off_phase(self, time, trace_duration, hard_stop, breakpoints, step_budget):
+    def _advance_off_phase(self, time, planner, step_budget):
         """Fast-forward off-phase steps inside one constant-power interval.
 
         Returns ``(steps_consumed, new_time)``; zero steps means the fast
         path could not make progress (an event is imminent) and the engine
-        must take a normal step.  Every bound below is conservative — a
+        must take a normal step.  Every plan bound is conservative — a
         step the fast path declines to consume is simply executed by the
         exact step-by-step machinery instead.
         """
@@ -320,23 +304,10 @@ class Simulator:
         frontend, buffer, gate = system.frontend, system.buffer, system.gate
         dt = self.dt_off
 
-        # Constant-power window: the current trace sample (zero-order hold),
-        # the drain hard stop, and any pending recorder sample point.
-        limit = min(frontend.segment_end(time), hard_stop)
-        max_steps = int((limit - time) / dt)
-        if self.recorder is not None:
-            max_steps = min(
-                max_steps, int((self.recorder.next_record_time - time) / dt) - 1
-            )
-        max_steps = min(max_steps, step_budget)
-        if max_steps < 1:
-            return 0, time
-
         voltage = buffer.output_voltage
-        stop_above, stop_below = _efficiency_stops(
-            voltage, breakpoints, gate.enable_voltage
-        )
-        drain_floor = gate.enable_voltage if time >= trace_duration else None
+        plan = planner.plan_off(time, dt, voltage, gate.enable_voltage, step_budget)
+        if plan.steps < 1:
+            return 0, time
 
         raw = frontend.raw_power(time)
         delivered = frontend.delivered_power(time, voltage)
@@ -345,10 +316,10 @@ class Simulator:
             gate.quiescent_current,
             dt,
             time,
-            max_steps,
-            stop_above=stop_above,
-            stop_below=stop_below,
-            drain_floor=drain_floor,
+            plan.steps,
+            stop_above=plan.stop_above,
+            stop_below=plan.stop_below,
+            drain_floor=plan.drain_floor,
         )
         if consumed == 0:
             return 0, time
@@ -361,7 +332,7 @@ class Simulator:
         system.workload.step(StepContext(time, end_time - time, False, buffer))
         return consumed, end_time
 
-    def _advance_on_phase(self, time, hard_stop, breakpoints, demand, step_budget):
+    def _advance_on_phase(self, time, planner, demand, step_budget):
         """Fast-forward quiescent on-phase steps inside one constant-power interval.
 
         Mirrors :meth:`_advance_off_phase` for the powered platform: the
@@ -384,38 +355,12 @@ class Simulator:
         if hint.demand is not None:
             demand = hint.demand
 
-        # Constant-power window: the current trace sample (zero-order hold)
-        # and the simulation hard stop...
-        limit = min(frontend.segment_end(time), hard_stop)
-        max_steps = int((limit - time) / dt)
-        # ...the hint's expiry (one full step of conservative margin: the
-        # additively accumulated end time can overshoot a computed bound by
-        # rounding ulps, and an event at the expiry must be observed by a
-        # normal step — so the margin applies even when the expiry sits at
-        # or just past the trace-segment boundary)...
-        expiry = hint.no_demand_change_before_time
-        if expiry != _INFINITY:
-            max_steps = min(max_steps, int((expiry - time) / dt) - 1)
-        # ...and any pending recorder sample point.
-        if self.recorder is not None:
-            max_steps = min(
-                max_steps, int((self.recorder.next_record_time - time) / dt) - 1
-            )
-        max_steps = min(max_steps, step_budget)
-        if max_steps < 1:
-            return 0, time
-
         voltage = buffer.output_voltage
-        stop_above, stop_below = _efficiency_stops(
-            voltage, breakpoints, hint.wake_on_voltage
+        plan = planner.plan_on(
+            time, dt, voltage, hint, buffer.longevity_request, step_budget
         )
-        wake_energy = None
-        if hint.wake_on_voltage is None:
-            # A pending longevity request with no expressible wake voltage
-            # (REACT, Morphy, Capybara): guard on the usable energy instead.
-            request = buffer.longevity_request
-            if request > 0.0:
-                wake_energy = request
+        if plan.steps < 1:
+            return 0, time
 
         raw = frontend.raw_power(time)
         delivered = frontend.delivered_power(time, voltage)
@@ -430,11 +375,11 @@ class Simulator:
             load_current,
             dt,
             time,
-            max_steps,
-            stop_above=stop_above,
-            stop_below=stop_below,
+            plan.steps,
+            stop_above=plan.stop_above,
+            stop_below=plan.stop_below,
             brownout_floor=gate.brownout_voltage,
-            wake_energy=wake_energy,
+            wake_energy=plan.wake_energy,
         )
         if consumed == 0:
             return 0, time

@@ -413,6 +413,80 @@ class TestBatchSimulatorEquivalence:
             assert got.frontend.raw_energy_offered == ref.frontend.raw_energy_offered
             assert got.frontend.energy_delivered == ref.frontend.energy_delivered
 
+    def test_mid_segment_retirement_mixed_lanes_bit_exact(self):
+        """Lanes leaving mid-segment don't disturb fast-forwarding peers.
+
+        A mixed batch — quiescent lanes deep inside skippable hint windows
+        or off-phase charge segments alongside lanes that brown out,
+        drain, and retire partway through those same trace segments —
+        exercises the masked normal step (a fast-forwarded majority, a
+        stepping minority) and retirement compaction while other lanes'
+        skip windows are still pending.  Everything must stay bit-exact
+        against the step-by-step scalar engine, ledgers included.
+        """
+        trace = QUICK.trace("RF Obstruction")
+        lanes = [
+            ("tiny", microfarads(200.0), "SC"),
+            ("small", microfarads(770.0), "DE"),
+            ("mid", millifarads(10.0), "SC"),
+            ("large", millifarads(17.0), "DE"),
+            ("never-starts", millifarads(300.0), "SC"),
+        ]
+
+        def systems():
+            return [
+                build_system(
+                    trace, StaticBuffer(c, name=n), w, "RF Obstruction"
+                )
+                for n, c, w in lanes
+            ]
+
+        reference = [
+            Simulator(system, fast_forward=False, **simulator_kwargs()).run()
+            for system in systems()
+        ]
+        batched = BatchSimulator(
+            systems(), scalar_tail_lanes=0, **simulator_kwargs()
+        ).run()
+        # The mix actually diverges: brownouts on the small lanes, none of
+        # the oversized lane ever starting.
+        assert any(r.brownout_count > 0 for r in reference)
+        assert reference[-1].latency is None
+        retire_times = {r.simulated_time for r in reference}
+        assert len(retire_times) > 1  # lanes retire at different timestamps
+        for ref, got in zip(reference, batched):
+            assert_results_equivalent(ref, got, exact_ledgers=True)
+
+    def test_retirement_inside_skipped_segment_with_and_without_ff(self):
+        """Fast-forwarding must not shift when a lane retires.
+
+        The same mixed batch with fast-forwarding disabled pins the
+        retirement schedule; the default (fast-forwarding) batch must
+        reproduce it lane for lane — a lane's drain termination or hard
+        stop may not slip past a segment its neighbours skipped.
+        """
+        trace = QUICK.trace("Solar Campus")
+        sizes = [microfarads(330.0), microfarads(770.0), millifarads(10.0)]
+
+        def systems():
+            return [
+                build_system(
+                    trace, StaticBuffer(c), w, "Solar Campus"
+                )
+                for w in ("DE", "SC")
+                for c in sizes
+            ]
+
+        stepped = BatchSimulator(
+            systems(), fast_forward=False, scalar_tail_lanes=0,
+            **simulator_kwargs(),
+        ).run()
+        fast = BatchSimulator(
+            systems(), scalar_tail_lanes=0, **simulator_kwargs()
+        ).run()
+        for ref, got in zip(stepped, fast):
+            assert_results_equivalent(ref, got, exact_ledgers=True)
+
 
 class TestMorphyBatchEquivalence:
     """The Morphy lockstep kernel against the scalar engine.

@@ -24,6 +24,7 @@ from repro.buffers.react_adapter import ReactBuffer
 from repro.buffers.static import StaticBuffer
 from repro.harvester.trace import PowerTrace
 from repro.platform.mcu import MSP430FR5994
+from repro.sim.batch import BatchSimulator
 from repro.sim.engine import Simulator
 from repro.sim.system import BatterylessSystem
 from repro.workloads.data_encryption import DataEncryption
@@ -140,3 +141,79 @@ def test_fast_forward_matches_step_by_step_oracle(case_seed):
         assert fast.buffer_ledger[key] == pytest.approx(
             value, rel=1e-9, abs=1e-15
         ), f"{context}: {key}"
+
+
+def build_batch_case(case_seed: int):
+    """A randomized trace-sharing lane mix for the batch engine.
+
+    One shared synthetic trace, one shared timestep pair, and 3–6 lanes of
+    random batchable buffers and workloads — alternating between the
+    static-kernel family (statics and Dewdrop mixed in one kernel) and the
+    Morphy kernel family (topology-sharing arrays with random unit
+    capacitances), since one lockstep kernel only batches one family.
+    Returns a fresh-systems factory plus the simulator kwargs so the
+    scalar oracle and the batch run each simulate untouched systems.
+    """
+    rng = np.random.default_rng(77_000 + case_seed)
+    trace = random_trace(rng)
+    dt_on = float(rng.choice([0.01, 0.02, 0.04]))
+    dt_off = dt_on * int(rng.integers(2, 6))
+    max_drain = float(rng.choice([30.0, 120.0]))
+    morphy_family = bool(case_seed % 2)
+    lane_seeds = [
+        int(seed) for seed in rng.integers(0, 2**31, size=int(rng.integers(3, 7)))
+    ]
+
+    def systems():
+        built = []
+        for lane_seed in lane_seeds:
+            lane_rng = np.random.default_rng(lane_seed)
+            if morphy_family:
+                buffer = MorphyBuffer(
+                    unit_capacitance=float(lane_rng.uniform(5e-4, 3e-3)),
+                )
+            elif int(lane_rng.integers(0, 2)):
+                buffer = StaticBuffer(
+                    float(lane_rng.uniform(3e-4, 2e-2)), name="static"
+                )
+            else:
+                buffer = DewdropBuffer(float(lane_rng.uniform(2e-3, 2e-2)))
+            built.append(
+                BatterylessSystem.build(
+                    trace, buffer, random_workload(lane_rng), mcu=MSP430FR5994()
+                )
+            )
+        return built
+
+    return systems, dict(dt_on=dt_on, dt_off=dt_off, max_drain_time=max_drain)
+
+
+@pytest.mark.parametrize("case_seed", range(10))
+def test_batch_lane_mix_matches_step_by_step_oracle(case_seed):
+    """The batch engine under the same differential discipline.
+
+    Every randomized lane of a trace-sharing batch — including lanes that
+    fast-forward whole segments while their neighbours step, brown out,
+    or retire — must agree with the step-by-step scalar oracle on the
+    exact counters, with ledgers within summation-order tolerance.
+    """
+    systems, kwargs = build_batch_case(case_seed)
+    reference = [
+        Simulator(system, fast_forward=False, **kwargs).run()
+        for system in systems()
+    ]
+    batched = BatchSimulator(systems(), scalar_tail_lanes=0, **kwargs).run()
+    for lane, (oracle, fast) in enumerate(zip(reference, batched)):
+        context = (
+            f"case_seed={case_seed} lane={lane} "
+            f"{oracle.buffer_name}/{oracle.workload_name}"
+        )
+        for field in EXACT_FIELDS:
+            assert getattr(fast, field) == getattr(oracle, field), (
+                f"{context}: {field}"
+            )
+        assert fast.workload_metrics == oracle.workload_metrics, context
+        for key, value in oracle.buffer_ledger.items():
+            assert fast.buffer_ledger[key] == pytest.approx(
+                value, rel=1e-9, abs=1e-15
+            ), f"{context}: {key}"
