@@ -61,4 +61,6 @@ def bench_settings() -> ExperimentSettings:
 
 def run_once(benchmark, function, *args, **kwargs):
     """Run ``function`` exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    return benchmark.pedantic(
+        function, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

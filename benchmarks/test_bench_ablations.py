@@ -47,8 +47,12 @@ def test_bench_ablation_isolation(benchmark, bench_settings):
         "REACT": react.buffer_ledger["switching_loss"],
         "Morphy": morphy.buffer_ledger["switching_loss"],
     }
-    react_loss_fraction = react.buffer_ledger["switching_loss"] / react.buffer_ledger["offered"]
-    morphy_loss_fraction = morphy.buffer_ledger["switching_loss"] / morphy.buffer_ledger["offered"]
+    react_loss_fraction = (
+        react.buffer_ledger["switching_loss"] / react.buffer_ledger["offered"]
+    )
+    morphy_loss_fraction = (
+        morphy.buffer_ledger["switching_loss"] / morphy.buffer_ledger["offered"]
+    )
     assert react_loss_fraction < morphy_loss_fraction
 
 
@@ -88,7 +92,11 @@ def test_bench_ablation_granularity(benchmark, bench_settings):
 
         coarse_config = ReactConfig(
             last_level_capacitance=microfarads(770.0),
-            banks=(BankSpec(unit_capacitance=millifarads(8.6), count=2, label="monolithic"),),
+            banks=(
+                BankSpec(
+                    unit_capacitance=millifarads(8.6), count=2, label="monolithic"
+                ),
+            ),
         )
         return run_pair(
             bench_settings,
@@ -149,7 +157,9 @@ def test_bench_single_simulation_throughput(benchmark, bench_settings):
     trace = bench_settings.trace("RF Cart")
 
     def run_one():
-        return runner.run_single(trace, StaticBuffer(millifarads(10.0)), SenseAndCompute())
+        return runner.run_single(
+            trace, StaticBuffer(millifarads(10.0)), SenseAndCompute()
+        )
 
     result = benchmark.pedantic(run_one, rounds=3, iterations=1)
     assert result.work_units > 0.0

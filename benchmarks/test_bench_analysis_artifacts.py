@@ -18,7 +18,9 @@ from repro.experiments import (
 
 def test_bench_table1_configuration(benchmark, bench_settings):
     """Table 1 — REACT bank configuration and Equation 2 checks."""
-    output = run_once(benchmark, table1_configuration.run, bench_settings, verbose=False)
+    output = run_once(
+        benchmark, table1_configuration.run, bench_settings, verbose=False
+    )
     benchmark.extra_info["rows"] = output["rows"]
     assert output["config"].maximum_capacitance == pytest.approx(18.03e-3, rel=1e-3)
     assert all(row["satisfies_eq2"] for row in output["sizing_rows"])
@@ -30,7 +32,9 @@ def test_bench_table3_trace_statistics(benchmark, bench_settings):
     benchmark.extra_info["rows"] = output["rows"]
     for row in output["rows"]:
         assert row["avg_power_mW"] == pytest.approx(row["paper_avg_power_mW"], rel=1e-3)
-        assert row["power_cv_percent"] == pytest.approx(row["paper_cv_percent"], rel=0.3)
+        assert row["power_cv_percent"] == pytest.approx(
+            row["paper_cv_percent"], rel=0.3
+        )
 
 
 def test_bench_switching_loss_analysis(benchmark, bench_settings):

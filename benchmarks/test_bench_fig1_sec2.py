@@ -7,7 +7,9 @@ from repro.experiments import fig1_static_tradeoff, sec2_characterization
 
 def test_bench_fig1_static_tradeoff(benchmark, bench_settings):
     """Figure 1 — 1 mF vs 300 mF static buffers on a solar pedestrian trace."""
-    output = run_once(benchmark, fig1_static_tradeoff.run, bench_settings, verbose=False)
+    output = run_once(
+        benchmark, fig1_static_tradeoff.run, bench_settings, verbose=False
+    )
     rows = {row["buffer"]: row for row in output["rows"]}
     benchmark.extra_info["rows"] = output["rows"]
     # The small buffer charges much sooner and cycles far more often.
@@ -19,7 +21,9 @@ def test_bench_fig1_static_tradeoff(benchmark, bench_settings):
 
 def test_bench_sec2_characterization(benchmark, bench_settings):
     """§2.1 — charge-time ratio, spike structure, and night-time duty cycles."""
-    output = run_once(benchmark, sec2_characterization.run, bench_settings, verbose=False)
+    output = run_once(
+        benchmark, sec2_characterization.run, bench_settings, verbose=False
+    )
     benchmark.extra_info["summary"] = {
         "charge_time_ratio": output["charge_time_ratio"],
         "spike_energy_fraction": output["spike_energy_fraction"],

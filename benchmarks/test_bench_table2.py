@@ -36,4 +36,6 @@ def test_bench_table2_full_grid(benchmark, bench_settings):
 
     # REACT's mean performance leads every static buffer on SC.
     sc_mean = matrices["SC"]["Mean"]
-    assert sc_mean["REACT"] >= max(sc_mean["770 uF"], sc_mean["10 mF"], sc_mean["17 mF"])
+    assert sc_mean["REACT"] >= max(
+        sc_mean["770 uF"], sc_mean["10 mF"], sc_mean["17 mF"]
+    )

@@ -5,7 +5,9 @@ from repro.experiments import table5_packet_forwarding
 
 
 def test_bench_table5_packet_forwarding(benchmark, bench_settings):
-    output = run_once(benchmark, table5_packet_forwarding.run, bench_settings, verbose=False)
+    output = run_once(
+        benchmark, table5_packet_forwarding.run, bench_settings, verbose=False
+    )
     received = output["received"]
     transmitted = output["transmitted"]
     benchmark.extra_info["received"] = received
@@ -17,8 +19,12 @@ def test_bench_table5_packet_forwarding(benchmark, bench_settings):
     # Paper: REACT receives and forwards more packets than any static buffer
     # on average, because it is awake when packets arrive and can bank the
     # energy for the retransmission.
-    assert rx_mean["REACT"] >= 0.9 * max(rx_mean["770 uF"], rx_mean["10 mF"], rx_mean["17 mF"])
-    assert tx_mean["REACT"] >= 0.9 * max(tx_mean["770 uF"], tx_mean["10 mF"], tx_mean["17 mF"])
+    assert rx_mean["REACT"] >= 0.9 * max(
+        rx_mean["770 uF"], rx_mean["10 mF"], rx_mean["17 mF"]
+    )
+    assert tx_mean["REACT"] >= 0.9 * max(
+        tx_mean["770 uF"], tx_mean["10 mF"], tx_mean["17 mF"]
+    )
     # The reactivity-limited small buffer forwards almost nothing.
     assert tx_mean["770 uF"] < 0.5 * tx_mean["REACT"]
     # Forwarded packets can never exceed received packets for any system.

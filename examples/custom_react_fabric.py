@@ -37,23 +37,36 @@ def design_fabric() -> ReactConfig:
     print("Sizing constraint (Equation 2) for a 470 uF last-level buffer:")
     for cells in (2, 3, 4):
         limit = max_unit_capacitance(cells, last_level, high, low)
-        limit_text = f"{limit * 1e6:.0f} uF" if limit != float("inf") else "unconstrained"
+        limit_text = (
+            f"{limit * 1e6:.0f} uF" if limit != float("inf") else "unconstrained"
+        )
         print(f"  {cells}-cell bank: unit capacitance must stay below {limit_text}")
 
     banks = (
         BankSpec(unit_capacitance=microfarads(220.0), count=3, label="fast"),
         BankSpec(unit_capacitance=microfarads(470.0), count=3, label="medium"),
-        BankSpec(unit_capacitance=microfarads(2200.0), count=2, supercapacitor=True, label="bulk"),
+        BankSpec(
+            unit_capacitance=microfarads(2200.0),
+            count=2,
+            supercapacitor=True,
+            label="bulk",
+        ),
     )
     config = ReactConfig(last_level_capacitance=last_level, banks=banks)
 
     print("\nReclamation spike check (Equation 1):")
     for spec in banks:
-        spike = voltage_after_series_switch(spec.count, spec.unit_capacitance, last_level, low)
-        print(f"  {spec.label}: last-level buffer reaches {spike:.2f} V after reclamation "
-              f"(limit {high} V)")
-    print(f"\nFabric range: {config.minimum_capacitance * 1e6:.0f} uF – "
-          f"{config.maximum_capacitance * 1e3:.2f} mF\n")
+        spike = voltage_after_series_switch(
+            spec.count, spec.unit_capacitance, last_level, low
+        )
+        print(
+            f"  {spec.label}: last-level buffer reaches {spike:.2f} V after reclamation "
+            f"(limit {high} V)"
+        )
+    print(
+        f"\nFabric range: {config.minimum_capacitance * 1e6:.0f} uF – "
+        f"{config.maximum_capacitance * 1e3:.2f} mF\n"
+    )
     return config
 
 
@@ -69,7 +82,9 @@ def main() -> None:
     )
 
     print(f"{'fabric':16s} {'latency':>9s} {'measurements':>13s}")
-    for name, config in (("Table 1 fabric", table1_config()), ("custom fabric", custom)):
+    for name, config in (
+        ("Table 1 fabric", table1_config()), ("custom fabric", custom)
+    ):
         buffer = ReactBuffer(config=config, name=name)
         system = BatterylessSystem.build(trace, buffer, SenseAndCompute())
         result = Simulator(system).run()

@@ -38,7 +38,9 @@ def main() -> None:
           f"{trace.mean_power * 1e3:.2f} mW average harvested power\n")
 
     print(f"{'policy':28s} {'transmissions':>14s} {'failed attempts':>16s}")
-    for use_guarantee, label in ((False, "eager (no guarantee)"), (True, "longevity guarantee")):
+    for use_guarantee, label in (
+        (False, "eager (no guarantee)"), (True, "longevity guarantee")
+    ):
         result = run_variant(trace, use_guarantee)
         print(
             f"{label:28s} {result.work_units:>14.0f} "
@@ -46,7 +48,9 @@ def main() -> None:
         )
 
     print("\nWith the guarantee, REACT waits in deep sleep until its capacitance level")
-    print("corresponds to a full transmission's worth of energy, then sends without risk")
+    print(
+        "corresponds to a full transmission's worth of energy, then sends without risk"
+    )
     print("of browning out mid-packet.")
 
 

@@ -17,7 +17,13 @@ the replayed trace so the script finishes in a couple of seconds.
 
 import os
 
-from repro import BatterylessSystem, PacketForwarding, ReactBuffer, Simulator, StaticBuffer
+from repro import (
+    BatterylessSystem,
+    PacketForwarding,
+    ReactBuffer,
+    Simulator,
+    StaticBuffer,
+)
 from repro.harvester.synthetic import generate_table3_trace
 from repro.units import microfarads, millifarads
 
@@ -39,7 +45,9 @@ def main() -> None:
         ReactBuffer(),
     ]
 
-    print(f"{'buffer':16s} {'received':>9s} {'forwarded':>10s} {'missed':>7s} {'failed tx':>10s}")
+    print(
+        f"{'buffer':16s} {'received':>9s} {'forwarded':>10s} {'missed':>7s} {'failed tx':>10s}"
+    )
     for buffer in buffers:
         workload = PacketForwarding(mean_interarrival=5.5, execute_kernel=True)
         system = BatterylessSystem.build(trace, buffer, workload)

@@ -18,7 +18,13 @@ the simulated deployment so the script finishes in a couple of seconds.
 
 import os
 
-from repro import BatterylessSystem, ReactBuffer, SenseAndCompute, Simulator, StaticBuffer
+from repro import (
+    BatterylessSystem,
+    ReactBuffer,
+    SenseAndCompute,
+    Simulator,
+    StaticBuffer,
+)
 from repro.harvester.regulator import BoostRegulator
 from repro.harvester.solar import SolarPanel, diurnal_irradiance
 from repro.sim.recorder import Recorder
@@ -40,7 +46,9 @@ def build_trace():
         cloud_fraction=0.5,
         seed=3,
     )
-    return panel.trace_from_irradiance(irradiance, sample_period=5.0, name="Window sill solar")
+    return panel.trace_from_irradiance(
+        irradiance, sample_period=5.0, name="Window sill solar"
+    )
 
 
 def main() -> None:
@@ -48,7 +56,9 @@ def main() -> None:
     print(f"{trace.name}: {trace.duration / 60.0:.0f} minutes, "
           f"{trace.mean_power * 1e3:.2f} mW mean harvested power\n")
 
-    for buffer in (StaticBuffer(microfarads(770.0), name="770 uF static"), ReactBuffer()):
+    for buffer in (
+        StaticBuffer(microfarads(770.0), name="770 uF static"), ReactBuffer()
+    ):
         workload = SenseAndCompute(execute_kernel=True)
         system = BatterylessSystem.build(
             trace, buffer, workload, regulator=BoostRegulator()

@@ -26,7 +26,9 @@ def _format_cell(value) -> str:
     return str(value)
 
 
-def format_table(rows: Sequence[Mapping[str, object]], title: Optional[str] = None) -> str:
+def format_table(
+    rows: Sequence[Mapping[str, object]], title: Optional[str] = None
+) -> str:
     """Render a list of dict rows as an aligned plain-text table."""
     if not rows:
         return (title + "\n(no rows)") if title else "(no rows)"

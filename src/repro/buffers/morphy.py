@@ -170,11 +170,15 @@ class MorphyConfigurationTable:
     @property
     def capacitance_range(self) -> Tuple[float, float]:
         """(minimum, maximum) equivalent capacitance."""
-        return (self.equivalent_capacitance(0), self.equivalent_capacitance(self.max_level))
+        return (
+            self.equivalent_capacitance(0), self.equivalent_capacitance(self.max_level)
+        )
 
     def levels(self) -> List[float]:
         """Equivalent capacitance at every level, ascending."""
-        return [self.equivalent_capacitance(level) for level in range(self.max_level + 1)]
+        return [
+            self.equivalent_capacitance(level) for level in range(self.max_level + 1)
+        ]
 
 
 class MorphyBuffer(EnergyBuffer):
@@ -210,7 +214,9 @@ class MorphyBuffer(EnergyBuffer):
             raise ConfigurationError("high threshold must exceed low threshold")
         if not 0.0 < network_efficiency <= 1.0:
             raise ConfigurationError("network efficiency must lie in (0, 1]")
-        self.table = MorphyConfigurationTable(cap_count, unit_capacitance, configurations)
+        self.table = MorphyConfigurationTable(
+            cap_count, unit_capacitance, configurations
+        )
         self.max_voltage = max_voltage
         self.brownout_voltage = brownout_voltage
         self.high_threshold = high_threshold
@@ -303,7 +309,8 @@ class MorphyBuffer(EnergyBuffer):
     @property
     def stored_energy(self) -> float:
         return sum(
-            capacitor_energy(self.unit_capacitance, voltage) for voltage in self._voltages
+            capacitor_energy(self.unit_capacitance, voltage)
+            for voltage in self._voltages
         )
 
     @property
@@ -582,7 +589,9 @@ class MorphyBuffer(EnergyBuffer):
                 continue
             lost_charge = leakage.charge_lost(voltage, dt)
             new_voltage = max(0.0, voltage - lost_charge / unit)
-            leaked += capacitor_energy(unit, voltage) - capacitor_energy(unit, new_voltage)
+            leaked += capacitor_energy(unit, voltage) - capacitor_energy(
+                unit, new_voltage
+            )
             voltages[index] = new_voltage
         return leaked
 

@@ -51,7 +51,9 @@ class ReactBuffer(EnergyBuffer):
         self._active_current_hint = value
         # The polling overhead for a fixed hint is a constant that the
         # simulator asks for every step; cache it alongside the hint.
-        self._software_overhead_current = self.controller.software_overhead_current(value)
+        self._software_overhead_current = self.controller.software_overhead_current(
+            value
+        )
 
     # -- telemetry ----------------------------------------------------------------
 

@@ -53,7 +53,9 @@ class CapacitorArray:
         self.rated_voltage = np.array([cap.rated_voltage for cap in capacitors])
         # Same expression the scalar path evaluates on every harvest call;
         # hoisting it is exact because the operands never change.
-        self.max_energy = 0.5 * self.capacitance * self.rated_voltage * self.rated_voltage
+        self.max_energy = (
+            0.5 * self.capacitance * self.rated_voltage * self.rated_voltage
+        )
         self.charge = np.array([cap._charge for cap in capacitors])
         self.leak_rated_current = leak_rated_current
         self.leak_rated_voltage = leak_rated_voltage
@@ -64,7 +66,9 @@ class CapacitorArray:
         self.leaked = np.zeros(n)
 
     @classmethod
-    def from_capacitors(cls, capacitors: Sequence[Capacitor]) -> Optional["CapacitorArray"]:
+    def from_capacitors(
+        cls, capacitors: Sequence[Capacitor]
+    ) -> Optional["CapacitorArray"]:
         """Vectorized view over ``capacitors``, or None if one is unbatchable."""
         stacked = stack_proportional_leakage([cap.leakage for cap in capacitors])
         if stacked is None:

@@ -185,7 +185,9 @@ class Capacitor:
         self.ledger.clipped += clipped_charge * self.rated_voltage
         return stored
 
-    def discharge_current(self, current: float, dt: float, v_floor: float = 0.0) -> float:
+    def discharge_current(
+        self, current: float, dt: float, v_floor: float = 0.0
+    ) -> float:
         """Supply a constant-current load for ``dt`` seconds.
 
         The discharge stops at ``v_floor`` (e.g. the brown-out voltage when

@@ -92,7 +92,9 @@ class SchottkyDiode(Diode):
 
     def __post_init__(self) -> None:
         if self.drop < 0.0:
-            raise ConfigurationError(f"forward drop must be non-negative, got {self.drop}")
+            raise ConfigurationError(
+                f"forward drop must be non-negative, got {self.drop}"
+            )
 
     def forward_drop(self, current: float) -> float:
         if current <= 0.0:

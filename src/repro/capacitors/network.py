@@ -120,15 +120,17 @@ def transfer_energy_between(
         source_capacitance, source_voltage
     ) - capacitor_energy(source_capacitance, equal_voltage)
     if source_energy_drop <= max_energy:
-        sink_gain = capacitor_energy(sink_capacitance, equal_voltage) - capacitor_energy(
-            sink_capacitance, sink_voltage
-        )
+        sink_gain = capacitor_energy(
+            sink_capacitance, equal_voltage
+        ) - capacitor_energy(sink_capacitance, sink_voltage)
         return equal_voltage, equal_voltage, max(sink_gain, 0.0)
     # Partial transfer: remove max_energy from the source, add the charge
     # (minus the voltage-difference dissipation) to the sink.  We conserve
     # charge: dq leaves the source at its falling voltage and lands on the
     # sink at its rising voltage.
-    new_source_energy = capacitor_energy(source_capacitance, source_voltage) - max_energy
+    new_source_energy = (
+        capacitor_energy(source_capacitance, source_voltage) - max_energy
+    )
     new_source_voltage = (2.0 * new_source_energy / source_capacitance) ** 0.5
     charge_moved = source_capacitance * (source_voltage - new_source_voltage)
     new_sink_voltage = min(

@@ -117,7 +117,11 @@ class CapacitorBank:
         """Stored energy if the output were at ``output_voltage`` in this state."""
         if self.state is BankState.DISCONNECTED:
             return self.stored_energy
-        cell = output_voltage / self.count if self.state is BankState.SERIES else output_voltage
+        cell = (
+            output_voltage / self.count
+            if self.state is BankState.SERIES
+            else output_voltage
+        )
         return self.count * capacitor_energy(self.unit_capacitance, cell)
 
     # -- state machine -----------------------------------------------------------------
@@ -214,11 +218,15 @@ class CapacitorBank:
         unit = self.spec.unit_capacitance
         if state is BankState.SERIES:
             ceiling = self.rated_cell_voltage * count
-            clamp_output = max_output_voltage if max_output_voltage < ceiling else ceiling
+            clamp_output = (
+                max_output_voltage if max_output_voltage < ceiling else ceiling
+            )
             clamp_cell = clamp_output / count
         else:
             ceiling = self.rated_cell_voltage
-            clamp_output = max_output_voltage if max_output_voltage < ceiling else ceiling
+            clamp_output = (
+                max_output_voltage if max_output_voltage < ceiling else ceiling
+            )
             clamp_cell = clamp_output
         max_energy = count * (0.5 * unit * clamp_cell * clamp_cell)
         voltage = self.cell_voltage
@@ -235,7 +243,9 @@ class CapacitorBank:
         if output_voltage < 0.0:
             raise ValueError(f"voltage must be non-negative, got {output_voltage}")
         if self.state is BankState.DISCONNECTED:
-            raise BankStateError(f"{self.name}: cannot set voltage on a disconnected bank")
+            raise BankStateError(
+                f"{self.name}: cannot set voltage on a disconnected bank"
+            )
         if self.state is BankState.SERIES:
             self.cell_voltage = output_voltage / self.count
         else:

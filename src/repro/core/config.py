@@ -31,7 +31,9 @@ class BankSpec:
                 f"unit capacitance must be positive, got {self.unit_capacitance}"
             )
         if self.count < 1:
-            raise ConfigurationError(f"bank needs at least one capacitor, got {self.count}")
+            raise ConfigurationError(
+                f"bank needs at least one capacitor, got {self.count}"
+            )
 
     @property
     def parallel_capacitance(self) -> float:
@@ -149,7 +151,9 @@ class ReactConfig:
                     "bank": index,
                     "capacitor_size_uF": round(bank.unit_capacitance * 1e6, 1),
                     "capacitor_count": bank.count,
-                    "role": "supercapacitor bank" if bank.supercapacitor else "ceramic bank",
+                    "role": (
+                        "supercapacitor bank" if bank.supercapacitor else "ceramic bank"
+                    ),
                 }
             )
         return rows
@@ -161,7 +165,12 @@ TABLE1_BANKS: Tuple[BankSpec, ...] = (
     BankSpec(unit_capacitance=microfarads(440.0), count=3, label="bank2"),
     BankSpec(unit_capacitance=microfarads(880.0), count=3, label="bank3"),
     BankSpec(unit_capacitance=microfarads(880.0), count=3, label="bank4"),
-    BankSpec(unit_capacitance=microfarads(5000.0), count=2, supercapacitor=True, label="bank5"),
+    BankSpec(
+        unit_capacitance=microfarads(5000.0),
+        count=2,
+        supercapacitor=True,
+        label="bank5",
+    ),
 )
 
 

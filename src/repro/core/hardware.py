@@ -54,7 +54,8 @@ class ReactHardware:
                 leakage = ConstantCurrentLeakage(config.supercap_leakage_current)
             else:
                 leakage = VoltageProportionalLeakage(
-                    rated_current=config.ceramic_leakage_per_farad * spec.unit_capacitance,
+                    rated_current=config.ceramic_leakage_per_farad
+                    * spec.unit_capacitance,
                     rated_voltage=6.3,
                 )
             self.banks.append(
@@ -141,7 +142,9 @@ class ReactHardware:
         connected bank is usable down to the post-reclamation stranded
         energy (§3.3.4).  This is the surrogate the longevity API gates on.
         """
-        floor = capacitor_energy(self.last_level.capacitance, self.config.brownout_voltage)
+        floor = capacitor_energy(
+            self.last_level.capacitance, self.config.brownout_voltage
+        )
         total = max(0.0, self.last_level.energy - floor)
         stranded_floor = self._stranded_floor
         for bank in self.connected_banks:

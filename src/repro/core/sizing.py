@@ -25,7 +25,9 @@ def voltage_after_series_switch(
     ``N · V_low``) equalizes with the last-level buffer (``C_last`` at
     ``V_low``); the result is the charge-weighted mean of the two voltages.
     """
-    _validate_positive(cell_count, unit_capacitance, last_level_capacitance, trigger_voltage)
+    _validate_positive(
+        cell_count, unit_capacitance, last_level_capacitance, trigger_voltage
+    )
     series_capacitance = unit_capacitance / cell_count
     boosted_voltage = cell_count * trigger_voltage
     total = last_level_capacitance + series_capacitance
@@ -47,7 +49,9 @@ def max_unit_capacitance(
     arbitrarily large bank cannot push the post-switch voltage above the
     high threshold (``N · V_low <= V_high``).
     """
-    _validate_positive(cell_count, last_level_capacitance, high_threshold, low_threshold)
+    _validate_positive(
+        cell_count, last_level_capacitance, high_threshold, low_threshold
+    )
     if high_threshold <= low_threshold:
         raise ConfigurationError("high threshold must exceed the low threshold")
     boosted = cell_count * low_threshold

@@ -565,7 +565,9 @@ def _pool_width(settings: ExperimentSettings) -> int:
 
 
 register_backend("serial", lambda settings: SerialBackend())
-register_backend("pool", lambda settings: ProcessPoolBackend(workers=_pool_width(settings)))
+register_backend(
+    "pool", lambda settings: ProcessPoolBackend(workers=_pool_width(settings))
+)
 register_backend("batch", lambda settings: BatchBackend())
 register_backend(
     "pool+batch",

@@ -59,7 +59,9 @@ def run(settings: Optional[ExperimentSettings] = None, verbose: bool = True) -> 
             }
         )
 
-    output = format_table(rows, title="Figure 1 — static buffer operation (solar pedestrian trace)")
+    output = format_table(
+        rows, title="Figure 1 — static buffer operation (solar pedestrian trace)"
+    )
     if verbose:
         print(output)
     return {

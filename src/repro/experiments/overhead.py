@@ -52,7 +52,9 @@ def run(settings: Optional[ExperimentSettings] = None, verbose: bool = True) -> 
         from repro.sim.engine import Simulator
         from repro.sim.system import BatterylessSystem
 
-        system = BatterylessSystem.build(trace, buffer, DataEncryption(), mcu=MSP430FR5994())
+        system = BatterylessSystem.build(
+            trace, buffer, DataEncryption(), mcu=MSP430FR5994()
+        )
         return Simulator(
             system,
             dt_on=settings.effective_dt_on,

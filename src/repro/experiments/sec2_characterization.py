@@ -44,7 +44,9 @@ def run(settings: Optional[ExperimentSettings] = None, verbose: bool = True) -> 
     for size_mf in (1.0, 300.0):
         buffer = StaticBuffer(millifarads(size_mf), name=f"{size_mf:g} mF")
         recorder = Recorder(record_period=2.0)
-        result = runner.run_single(day_trace, buffer, DataEncryption(), recorder=recorder)
+        result = runner.run_single(
+            day_trace, buffer, DataEncryption(), recorder=recorder
+        )
         intervals = recorder.on_intervals()
         cycles = [end - start for start, end in intervals]
         cycle_stats[buffer.name] = {
@@ -66,7 +68,9 @@ def run(settings: Optional[ExperimentSettings] = None, verbose: bool = True) -> 
     small = cycle_stats["1 mF"]
     large = cycle_stats["300 mF"]
     charge_time_ratio = (
-        large["latency"] / small["latency"] if small["latency"] not in (0.0, float("inf")) else float("inf")
+        large["latency"] / small["latency"]
+        if small["latency"] not in (0.0, float("inf"))
+        else float("inf")
     )
 
     spike_stats = day_trace.statistics(spike_threshold=10e-3, low_power_threshold=3e-3)
@@ -84,7 +88,10 @@ def run(settings: Optional[ExperimentSettings] = None, verbose: bool = True) -> 
         )
 
     summary_rows = [
-        {"quantity": "charge-time ratio (300 mF / 1 mF)", "value": round(charge_time_ratio, 1)},
+        {
+            "quantity": "charge-time ratio (300 mF / 1 mF)",
+            "value": round(charge_time_ratio, 1),
+        },
         {
             "quantity": "spike energy fraction (>10 mW)",
             "value": round(spike_stats.spike_energy_fraction, 3),

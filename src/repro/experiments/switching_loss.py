@@ -75,7 +75,9 @@ def run(settings: Optional[ExperimentSettings] = None, verbose: bool = True) -> 
     for cell_count, unit_uF in ((3, 220.0), (3, 880.0), (2, 5000.0)):
         unit = unit_uF * 1e-6
         without = stranded_energy_without_reclamation(cell_count, unit, low_voltage)
-        with_reclamation = stranded_energy_with_reclamation(cell_count, unit, low_voltage)
+        with_reclamation = stranded_energy_with_reclamation(
+            cell_count, unit, low_voltage
+        )
         reclamation_rows.append(
             {
                 "cells": cell_count,

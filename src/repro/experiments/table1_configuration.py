@@ -34,7 +34,9 @@ def run(settings: Optional[ExperimentSettings] = None, verbose: bool = True) -> 
                 "bank": index,
                 "cells": bank.count,
                 "unit_uF": round(bank.unit_capacitance * 1e6, 1),
-                "eq2_limit_uF": round(limit * 1e6, 1) if limit != float("inf") else None,
+                "eq2_limit_uF": (
+                    round(limit * 1e6, 1) if limit != float("inf") else None
+                ),
                 "satisfies_eq2": validate_bank_sizing(
                     bank.count,
                     bank.unit_capacitance,

@@ -33,7 +33,9 @@ def run(settings: Optional[ExperimentSettings] = None, verbose: bool = True) -> 
     if means.get("REACT") and means.get("770 uF"):
         ratios["REACT / 770 uF"] = means["REACT"] / means["770 uF"]
 
-    output = format_matrix(matrix, row_label="trace", title="Table 4 — system latency (s)")
+    output = format_matrix(
+        matrix, row_label="trace", title="Table 4 — system latency (s)"
+    )
     if ratios:
         ratio_lines = "\n".join(f"{key}: {value:.2f}x" for key, value in ratios.items())
         output = output + "\n\n" + ratio_lines

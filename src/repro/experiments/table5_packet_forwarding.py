@@ -29,15 +29,21 @@ def run(settings: Optional[ExperimentSettings] = None, verbose: bool = True) -> 
         received.setdefault(result.trace_name, {})[result.buffer_name] = (
             result.workload_metrics.get("packets_received", 0.0)
         )
-        transmitted.setdefault(result.trace_name, {})[result.buffer_name] = result.work_units
+        transmitted.setdefault(result.trace_name, {})[result.buffer_name] = (
+            result.work_units
+        )
     received["Mean"] = mean_over_traces(received)
     transmitted["Mean"] = mean_over_traces(transmitted)
 
     output = "\n\n".join(
         [
-            format_matrix(received, row_label="trace", title="Table 5 — packets received (Rx)"),
             format_matrix(
-                transmitted, row_label="trace", title="Table 5 — packets retransmitted (Tx)"
+                received, row_label="trace", title="Table 5 — packets received (Rx)"
+            ),
+            format_matrix(
+                transmitted,
+                row_label="trace",
+                title="Table 5 — packets retransmitted (Tx)",
             ),
         ]
     )

@@ -88,7 +88,9 @@ class RfHarvester:
 
     def __post_init__(self) -> None:
         if self.frequency <= 0.0:
-            raise ConfigurationError(f"frequency must be positive, got {self.frequency}")
+            raise ConfigurationError(
+                f"frequency must be positive, got {self.frequency}"
+            )
         if self.transmit_power <= 0.0:
             raise ConfigurationError(
                 f"transmit power must be positive, got {self.transmit_power}"

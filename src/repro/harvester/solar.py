@@ -42,7 +42,9 @@ class SolarPanel:
 
     def __post_init__(self) -> None:
         if self.area_cm2 <= 0.0:
-            raise ConfigurationError(f"panel area must be positive, got {self.area_cm2}")
+            raise ConfigurationError(
+                f"panel area must be positive, got {self.area_cm2}"
+            )
         if not 0.0 < self.efficiency <= 1.0:
             raise ConfigurationError(
                 f"efficiency must lie in (0, 1], got {self.efficiency}"

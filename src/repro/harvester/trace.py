@@ -241,7 +241,9 @@ class PowerTrace:
             coefficient_of_variation=self.coefficient_of_variation,
             peak_power=self.peak_power,
             total_energy=total_energy,
-            spike_energy_fraction=(spike_energy / total_energy) if total_energy else 0.0,
+            spike_energy_fraction=(
+                (spike_energy / total_energy) if total_energy else 0.0
+            ),
             time_below_fraction=(below_time / self.duration) if self.duration else 0.0,
         )
 
@@ -286,7 +288,9 @@ class PowerTrace:
             self._powers[indices], sample_period, name or f"{self.name}-resampled"
         )
 
-    def concatenated(self, other: "PowerTrace", name: str | None = None) -> "PowerTrace":
+    def concatenated(
+        self, other: "PowerTrace", name: str | None = None
+    ) -> "PowerTrace":
         """Return this trace followed by ``other`` (sample periods must match)."""
         if abs(other.sample_period - self.sample_period) > 1e-12:
             raise TraceError("cannot concatenate traces with different sample periods")

@@ -188,7 +188,9 @@ class PoissonEventSource(EventSource):
         events: List[Event] = []
         while cursor < len(times) and times[cursor] < end:
             events.append(
-                Event(time=times[cursor], kind=self.kind, payload_size=self.payload_size)
+                Event(
+                    time=times[cursor], kind=self.kind, payload_size=self.payload_size
+                )
             )
             cursor += 1
         self._cursor = cursor

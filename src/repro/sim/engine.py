@@ -137,7 +137,9 @@ class Simulator:
         mcu, gate, workload = system.mcu, system.gate, system.workload
 
         trace_duration = frontend.duration
-        hard_stop = trace_duration + (self.max_drain_time if self.drain_after_trace else 0.0)
+        hard_stop = trace_duration + (
+            self.max_drain_time if self.drain_after_trace else 0.0
+        )
         time = self.start_time
         latency: Optional[float] = self.initial_latency
         steps = 0

@@ -111,7 +111,9 @@ def latency_table(results: Iterable[SimulationResult]) -> Dict[str, Dict[str, fl
         # Latency is workload-invariant, so any workload's value is fine;
         # keep the smallest observed to be safe against drain-phase noise.
         existing = trace_table.get(result.buffer_name)
-        trace_table[result.buffer_name] = value if existing is None else min(existing, value)
+        trace_table[result.buffer_name] = (
+            value if existing is None else min(existing, value)
+        )
     return table
 
 

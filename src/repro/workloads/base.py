@@ -133,7 +133,9 @@ class QuiescenceHint(NamedTuple):
 #: majority of steps; reusing them keeps the hot loop allocation-free.
 _DEMAND_OFF = PowerDemand(mcu_mode=PowerMode.OFF, peripheral_current=0.0)
 _DEMAND_SLEEPING = PowerDemand(mcu_mode=PowerMode.SLEEP, peripheral_current=0.0)
-_DEMAND_DEEP_SLEEPING = PowerDemand(mcu_mode=PowerMode.DEEP_SLEEP, peripheral_current=0.0)
+_DEMAND_DEEP_SLEEPING = PowerDemand(
+    mcu_mode=PowerMode.DEEP_SLEEP, peripheral_current=0.0
+)
 _DEMAND_ACTIVE = PowerDemand(mcu_mode=PowerMode.ACTIVE, peripheral_current=0.0)
 
 

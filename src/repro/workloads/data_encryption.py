@@ -46,7 +46,9 @@ class DataEncryption(Workload):
 
     def __post_init__(self) -> None:
         if self.unit_time <= 0.0:
-            raise ConfigurationError(f"unit time must be positive, got {self.unit_time}")
+            raise ConfigurationError(
+                f"unit time must be positive, got {self.unit_time}"
+            )
         self._cipher = AES128(self.key)
         self._progress = 0.0
         self._counter = 0

@@ -188,7 +188,9 @@ class PacketForwarding(Workload):
         received = self._metrics.extra.get("packets_received", 0.0) + 1.0
         self._metrics.extra["packets_received"] = received
 
-    def _handle_arrivals(self, ctx: StepContext, arrivals: list[Event]) -> Optional[PowerDemand]:
+    def _handle_arrivals(
+        self, ctx: StepContext, arrivals: list[Event]
+    ) -> Optional[PowerDemand]:
         """React to packets that arrived during this step.
 
         Energy fungibility: an incoming packet pre-empts a pending transmit

@@ -23,7 +23,9 @@ from repro.units import microfarads
 @pytest.fixture
 def short_rf_trace() -> PowerTrace:
     """A 90-second office-RF style trace for fast end-to-end tests."""
-    return rf_trace(duration=90.0, mean_power=1.5e-3, coefficient_of_variation=1.0, seed=5)
+    return rf_trace(
+        duration=90.0, mean_power=1.5e-3, coefficient_of_variation=1.0, seed=5
+    )
 
 
 @pytest.fixture

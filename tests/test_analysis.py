@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.analysis.aggregate import matrix_from_results, mean_over_traces, relative_improvement
+from repro.analysis.aggregate import (
+    matrix_from_results,
+    mean_over_traces,
+    relative_improvement,
+)
 from repro.analysis.formatting import format_matrix, format_table, percent
 from repro.sim.results import SimulationResult
 
@@ -42,7 +46,9 @@ class TestFormatting:
         assert "(no rows)" in format_table([], title="empty")
 
     def test_format_matrix(self):
-        text = format_matrix({"RF Cart": {"REACT": 1.0, "770 uF": 0.5}}, row_label="trace")
+        text = format_matrix(
+            {"RF Cart": {"REACT": 1.0, "770 uF": 0.5}}, row_label="trace"
+        )
         assert "RF Cart" in text and "REACT" in text
 
     def test_percent(self):
@@ -73,7 +79,11 @@ class TestAggregation:
         assert means["17 mF"] == pytest.approx(4.0)
 
     def test_relative_improvement(self):
-        assert relative_improvement({"REACT": 1.25, "base": 1.0}, "REACT", "base") == pytest.approx(0.25)
-        assert relative_improvement({"REACT": 1.0, "base": 0.0}, "REACT", "base") == float("inf")
+        assert relative_improvement(
+            {"REACT": 1.25, "base": 1.0}, "REACT", "base"
+        ) == pytest.approx(0.25)
+        assert relative_improvement(
+            {"REACT": 1.0, "base": 0.0}, "REACT", "base"
+        ) == float("inf")
         with pytest.raises(KeyError):
             relative_improvement({"REACT": 1.0}, "REACT", "base")

@@ -310,11 +310,15 @@ class TestSweepApi:
 
     def test_sweep_accepts_backend_name_and_instance(self):
         by_name = sweep(
-            workloads=("SC",), trace_names=("RF Cart",), settings=QUICK,
+            workloads=("SC",),
+            trace_names=("RF Cart",),
+            settings=QUICK,
             backend="batch",
         )
         by_instance = sweep(
-            workloads=("SC",), trace_names=("RF Cart",), settings=QUICK,
+            workloads=("SC",),
+            trace_names=("RF Cart",),
+            settings=QUICK,
             backend=BatchBackend(),
         )
         assert by_name.backend == by_instance.backend == "batch"

@@ -209,7 +209,9 @@ class TestBatchSimulatorEquivalence:
     def test_bitwise_equal_to_step_by_step_engine(self):
         """Pure lockstep execution replays the scalar recurrence bit-for-bit."""
         trace = QUICK.trace("RF Cart")
-        lanes = [("770 uF", microfarads(770.0), "DE"), ("10 mF", millifarads(10.0), "SC")]
+        lanes = [
+            ("770 uF", microfarads(770.0), "DE"), ("10 mF", millifarads(10.0), "SC")
+        ]
 
         def systems():
             return [

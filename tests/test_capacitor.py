@@ -175,5 +175,7 @@ def test_energy_accounting_balances(initial, energy_in, current, dt):
     cap.discharge_current(current, dt)
     absorbed = cap.ledger.absorbed
     delivered = cap.ledger.delivered
-    assert cap.energy == pytest.approx(start + absorbed - delivered, rel=1e-9, abs=1e-12)
+    assert cap.energy == pytest.approx(
+        start + absorbed - delivered, rel=1e-9, abs=1e-12
+    )
     assert 0.0 <= cap.voltage <= cap.rated_voltage + 1e-9

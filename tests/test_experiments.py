@@ -38,7 +38,12 @@ from repro.experiments.runner import (
 )
 from repro.experiments import switching_loss, table1_configuration, table3_traces
 from repro.units import microfarads
-from repro.workloads import DataEncryption, PacketForwarding, RadioTransmit, SenseAndCompute
+from repro.workloads import (
+    DataEncryption,
+    PacketForwarding,
+    RadioTransmit,
+    SenseAndCompute,
+)
 
 
 def exploding_buffers():
@@ -122,7 +127,9 @@ class TestRunnerInfrastructure:
         runner = ExperimentRunner(settings)
         specs = runner.grid_specs(workloads=("SC", "DE"), trace_names=("RF Cart",))
         assert len(specs) == 2 * len(BUFFER_ORDER)
-        assert [s.workload for s in specs[: len(BUFFER_ORDER)]] == ["SC"] * len(BUFFER_ORDER)
+        assert [s.workload for s in specs[: len(BUFFER_ORDER)]] == ["SC"] * len(
+            BUFFER_ORDER
+        )
         assert [s.buffer_index for s in specs[: len(BUFFER_ORDER)]] == list(
             range(len(BUFFER_ORDER))
         )
@@ -335,7 +342,9 @@ class TestCheapExperiments:
         output = table3_traces.run(ExperimentSettings(quick=True), verbose=False)
         assert len(output["rows"]) == 5
         for row in output["rows"]:
-            assert row["avg_power_mW"] == pytest.approx(row["paper_avg_power_mW"], rel=1e-3)
+            assert row["avg_power_mW"] == pytest.approx(
+                row["paper_avg_power_mW"], rel=1e-3
+            )
 
     def test_switching_loss_experiment_matches_paper(self):
         output = switching_loss.run(verbose=False)
@@ -343,7 +352,9 @@ class TestCheapExperiments:
         assert by_size[4]["model_loss_fraction"] == pytest.approx(0.25, abs=1e-3)
         assert by_size[8]["model_loss_fraction"] == pytest.approx(0.5625, abs=1e-3)
         for row in output["reclamation_rows"]:
-            assert row["gain_factor"] == pytest.approx(row["expected_gain_N^2"], rel=1e-6)
+            assert row["gain_factor"] == pytest.approx(
+                row["expected_gain_N^2"], rel=1e-6
+            )
 
 
 class TestCli:

@@ -6,7 +6,12 @@ import pytest
 from repro.exceptions import ConfigurationError
 from repro.harvester.frontend import HarvestingFrontend
 from repro.harvester.regulator import BoostRegulator, IdealRegulator
-from repro.harvester.rf import RfHarvester, dbm_to_watts, rf_to_dc_efficiency, watts_to_dbm
+from repro.harvester.rf import (
+    RfHarvester,
+    dbm_to_watts,
+    rf_to_dc_efficiency,
+    watts_to_dbm,
+)
 from repro.harvester.solar import FULL_SUN_IRRADIANCE, SolarPanel, diurnal_irradiance
 from repro.harvester.trace import PowerTrace
 
@@ -36,7 +41,9 @@ class TestSolarPanel:
 
     def test_trace_from_irradiance(self):
         panel = SolarPanel()
-        trace = panel.trace_from_irradiance(np.array([0.0, 100.0, 200.0]), sample_period=60.0)
+        trace = panel.trace_from_irradiance(
+            np.array([0.0, 100.0, 200.0]), sample_period=60.0
+        )
         assert isinstance(trace, PowerTrace)
         assert trace.powers[0] == 0.0
         assert trace.powers[2] == pytest.approx(2 * trace.powers[1])
@@ -86,7 +93,9 @@ class TestRfHarvester:
 
     def test_obstruction_attenuates(self):
         harvester = RfHarvester()
-        assert harvester.harvested_power(2.0, obstruction_db=10.0) < harvester.harvested_power(2.0)
+        assert harvester.harvested_power(
+            2.0, obstruction_db=10.0
+        ) < harvester.harvested_power(2.0)
 
     def test_distance_validation(self):
         with pytest.raises(ValueError):

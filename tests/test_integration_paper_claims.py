@@ -57,11 +57,15 @@ class TestCapacityAndEfficiencyClaims:
         react = run(volatile_trace, ReactBuffer(), SenseAndCompute())
         assert react.buffer_ledger["clipped"] <= small.buffer_ledger["clipped"]
 
-    def test_react_completes_at_least_as_much_work_as_static_designs(self, volatile_trace):
+    def test_react_completes_at_least_as_much_work_as_static_designs(
+        self, volatile_trace
+    ):
         """Figure 7's direction on a single trace: REACT >= the static designs."""
         react = run(volatile_trace, ReactBuffer(), SenseAndCompute())
         for capacitance, name in ((770e-6, "770 uF"), (17e-3, "17 mF")):
-            static = run(volatile_trace, StaticBuffer(capacitance, name=name), SenseAndCompute())
+            static = run(
+                volatile_trace, StaticBuffer(capacitance, name=name), SenseAndCompute()
+            )
             assert react.work_units >= static.work_units * 0.95
 
     def test_morphy_pays_switching_losses_react_avoids(self, volatile_trace):
@@ -76,7 +80,9 @@ class TestCapacityAndEfficiencyClaims:
 
     def test_oversized_buffer_never_starts_on_weak_trace(self):
         """Table 4's '-' entry: 17 mF cannot start on RF Obstruction-class power."""
-        weak = rf_trace(duration=200.0, mean_power=0.2e-3, coefficient_of_variation=0.6, seed=2)
+        weak = rf_trace(
+            duration=200.0, mean_power=0.2e-3, coefficient_of_variation=0.6, seed=2
+        )
         large = run(weak, StaticBuffer(millifarads(17.0)), SenseAndCompute())
         small = run(weak, StaticBuffer(microfarads(770.0)), SenseAndCompute())
         react = run(weak, ReactBuffer(), SenseAndCompute())
@@ -130,7 +136,10 @@ class TestOverheadClaims:
             trace, ReactBuffer(), DataEncryption(), drain_after_trace=False
         ).run()
         static = build_simulator(
-            trace, StaticBuffer(microfarads(770.0)), DataEncryption(), drain_after_trace=False
+            trace,
+            StaticBuffer(microfarads(770.0)),
+            DataEncryption(),
+            drain_after_trace=False,
         ).run()
         assert react.work_units >= 0.9 * static.work_units
 

@@ -115,7 +115,9 @@ class TestReconfigurationPhysics:
         level_to=st.integers(0, 10),
         voltage=st.floats(0.1, 3.5),
     )
-    def test_arbitrary_reconfigurations_are_dissipative_only(self, level_from, level_to, voltage):
+    def test_arbitrary_reconfigurations_are_dissipative_only(
+        self, level_from, level_to, voltage
+    ):
         buffer = MorphyBuffer()
         buffer.set_state(level_from, [voltage] * 8)
         before = buffer.stored_energy

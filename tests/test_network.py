@@ -79,7 +79,9 @@ class TestEqualizeParallel:
         final_voltage, dissipated = equalize_parallel(caps, volts)
         total_charge_before = sum(c * v for c, v in zip(caps, volts))
         total_charge_after = sum(caps) * final_voltage
-        assert total_charge_after == pytest.approx(total_charge_before, rel=1e-9, abs=1e-15)
+        assert total_charge_after == pytest.approx(
+            total_charge_before, rel=1e-9, abs=1e-15
+        )
         assert dissipated >= -1e-15
 
 
@@ -109,7 +111,11 @@ class TestTransferEnergyBetween:
         sink_c=st.floats(1e-6, 1e-2),
         sink_v=st.floats(0.0, 5.0),
     )
-    def test_sink_never_ends_above_source_start(self, source_c, source_v, sink_c, sink_v):
-        new_source, new_sink, moved = transfer_energy_between(source_c, source_v, sink_c, sink_v)
+    def test_sink_never_ends_above_source_start(
+        self, source_c, source_v, sink_c, sink_v
+    ):
+        new_source, new_sink, moved = transfer_energy_between(
+            source_c, source_v, sink_c, sink_v
+        )
         assert moved >= 0.0
         assert new_sink <= max(source_v, sink_v) + 1e-9

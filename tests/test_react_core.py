@@ -69,7 +69,9 @@ class TestConfig:
 
 class TestCapacitorBank:
     def make_bank(self, count=3, unit=220e-6) -> CapacitorBank:
-        return CapacitorBank(spec=BankSpec(unit_capacitance=unit, count=count), name="bank")
+        return CapacitorBank(
+            spec=BankSpec(unit_capacitance=unit, count=count), name="bank"
+        )
 
     def test_state_machine_up_and_down(self):
         bank = self.make_bank()
@@ -200,7 +202,9 @@ class TestSizingMath:
         last=st.floats(100e-6, 5e-3),
         low=st.floats(1.0, 2.5),
     )
-    def test_equation1_output_is_between_trigger_and_boost(self, cells, unit, last, low):
+    def test_equation1_output_is_between_trigger_and_boost(
+        self, cells, unit, last, low
+    ):
         voltage = voltage_after_series_switch(cells, unit, last, low)
         assert low - 1e-9 <= voltage <= cells * low + 1e-9
 

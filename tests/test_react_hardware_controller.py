@@ -192,7 +192,10 @@ class TestReactController:
             controller.config.instrumentation_power
         )
         hardware.banks[0].connect_series()
-        assert controller.hardware_overhead_power() > controller.config.instrumentation_power
+        assert (
+            controller.hardware_overhead_power()
+            > controller.config.instrumentation_power
+        )
         assert controller.software_overhead_current(1.5e-3) > 0.0
 
     def test_reset(self):
@@ -216,7 +219,9 @@ class TestReactBufferAdapter:
 
     def test_default_uses_table1(self):
         buffer = ReactBuffer()
-        assert buffer.max_capacitance == pytest.approx(table1_config().maximum_capacitance)
+        assert buffer.max_capacitance == pytest.approx(
+            table1_config().maximum_capacitance
+        )
 
     def test_supports_longevity(self):
         buffer = ReactBuffer(config=small_config())

@@ -82,7 +82,9 @@ class TestSimulator:
         ).run()
         assert result.simulated_time == pytest.approx(steady_trace.duration, abs=1.0)
 
-    def test_energy_conservation_for_static_buffer(self, short_rf_trace, simulator_factory):
+    def test_energy_conservation_for_static_buffer(
+        self, short_rf_trace, simulator_factory
+    ):
         buffer = StaticBuffer(millifarads(1.0))
         result = simulator_factory(short_rf_trace, buffer, SenseAndCompute()).run()
         ledger = result.buffer_ledger
@@ -93,7 +95,9 @@ class TestSimulator:
         )
 
     def test_react_runs_end_to_end(self, short_rf_trace, simulator_factory):
-        result = simulator_factory(short_rf_trace, ReactBuffer(), SenseAndCompute()).run()
+        result = simulator_factory(
+            short_rf_trace, ReactBuffer(), SenseAndCompute()
+        ).run()
         assert result.started
         assert result.work_units > 0.0
 
@@ -144,7 +148,9 @@ class TestAdaptiveTimestepAtTransitions:
         )
         result = Simulator(system, dt_on=0.01, dt_off=dt_off, max_drain_time=30.0).run()
         assert result.latency == pytest.approx(1.09, abs=0.05)
-        distance_to_grid = min(result.latency % dt_off, dt_off - result.latency % dt_off)
+        distance_to_grid = min(
+            result.latency % dt_off, dt_off - result.latency % dt_off
+        )
         assert distance_to_grid > 1e-6, "latency still quantized to the dt_off grid"
 
     def test_latency_agrees_across_dt_off_choices(self, steady_trace):
@@ -223,9 +229,13 @@ class TestFastForwardEquivalence:
             fast_forward=fast_forward,
         ).run()
 
-    @pytest.mark.parametrize("buffer_name", ["770 uF", "10 mF", "17 mF", "Morphy", "REACT"])
+    @pytest.mark.parametrize(
+        "buffer_name", ["770 uF", "10 mF", "17 mF", "Morphy", "REACT"]
+    )
     @pytest.mark.parametrize("workload_factory", [DataEncryption, SenseAndCompute])
-    def test_matches_step_by_step_engine(self, short_rf_trace, buffer_name, workload_factory):
+    def test_matches_step_by_step_engine(
+        self, short_rf_trace, buffer_name, workload_factory
+    ):
         from repro.experiments.runner import standard_buffers
 
         def fresh_buffer():
@@ -391,6 +401,8 @@ class TestResultsAndMetrics:
         assert summary["SC"]["REACT"] == pytest.approx(1.0)
 
     def test_improvement_over(self):
-        assert improvement_over({"REACT": 1.3, "base": 1.0}, "REACT", "base") == pytest.approx(0.3)
+        assert improvement_over(
+            {"REACT": 1.3, "base": 1.0}, "REACT", "base"
+        ) == pytest.approx(0.3)
         with pytest.raises(KeyError):
             improvement_over({"REACT": 1.0}, "REACT", "base")

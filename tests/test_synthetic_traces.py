@@ -25,7 +25,9 @@ class TestTable3Calibration:
     @pytest.mark.parametrize("name", TABLE3_ORDER)
     def test_mean_power_matches_table3_exactly(self, name):
         trace = generate_table3_trace(name)
-        assert trace.mean_power == pytest.approx(TABLE3_SPECS[name].mean_power, rel=1e-6)
+        assert trace.mean_power == pytest.approx(
+            TABLE3_SPECS[name].mean_power, rel=1e-6
+        )
 
     @pytest.mark.parametrize("name", TABLE3_ORDER)
     def test_cv_matches_table3_within_tolerance(self, name):
@@ -70,7 +72,9 @@ class TestCustomGenerators:
         assert trace.duration == pytest.approx(200.0)
 
     def test_solar_trace_is_spiky(self):
-        trace = solar_trace(duration=1800.0, mean_power=5e-3, coefficient_of_variation=2.0)
+        trace = solar_trace(
+            duration=1800.0, mean_power=5e-3, coefficient_of_variation=2.0
+        )
         stats = trace.statistics()
         assert stats.spike_energy_fraction > 0.3
 

@@ -79,7 +79,9 @@ class TestQueries:
     def test_energy_between(self):
         trace = make_trace()
         assert trace.energy_between(0.0, 2.0) == pytest.approx(3e-3)
-        assert trace.energy_between(0.0, trace.duration) == pytest.approx(trace.total_energy)
+        assert trace.energy_between(0.0, trace.duration) == pytest.approx(
+            trace.total_energy
+        )
 
     def test_energy_between_rejects_inverted_interval(self):
         with pytest.raises(TraceError):

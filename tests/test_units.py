@@ -68,7 +68,7 @@ def test_energy_is_nonnegative_and_monotone_in_voltage(capacitance, voltage):
 def test_usable_energy_decomposes_total_energy(capacitance, v_low, extra):
     v_high = v_low + extra
     usable = units.usable_energy(capacitance, v_high, v_low)
-    total_difference = units.capacitor_energy(capacitance, v_high) - units.capacitor_energy(
-        capacitance, v_low
-    )
+    total_difference = units.capacitor_energy(
+        capacitance, v_high
+    ) - units.capacitor_energy(capacitance, v_low)
     assert usable == pytest.approx(total_difference, rel=1e-9, abs=1e-12)

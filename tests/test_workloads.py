@@ -26,7 +26,9 @@ def drive(workload, buffer, duration, dt=0.05, system_on=True, start=0.0):
     demands = []
     while time < start + duration:
         demands.append(
-            workload.step(StepContext(time=time, dt=dt, system_on=system_on, buffer=buffer))
+            workload.step(
+                StepContext(time=time, dt=dt, system_on=system_on, buffer=buffer)
+            )
         )
         time += dt
     return demands
