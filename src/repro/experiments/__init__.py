@@ -30,6 +30,12 @@ from repro.experiments.backends import (
     register_backend,
     resolve_backend,
 )
+from repro.experiments.store import (
+    CachedBackend,
+    ResultStore,
+    StoreStats,
+    code_version_salt,
+)
 from repro.experiments._sweep import SweepResult, sweep
 from repro.experiments.parallel import ParallelExperimentRunner
 from repro.experiments.batched import BatchExperimentRunner
@@ -76,6 +82,11 @@ __all__ = [
     "register_backend",
     "resolve_backend",
     "available_backends",
+    # result store
+    "CachedBackend",
+    "ResultStore",
+    "StoreStats",
+    "code_version_salt",
     # public sweep surface
     "sweep",
     "SweepResult",

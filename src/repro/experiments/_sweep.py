@@ -33,6 +33,7 @@ from repro.experiments.runner import (
     WORKLOAD_ORDER,
     standard_buffers,
 )
+from repro.experiments.store import StoreStats
 from repro.sim.results import SimulationResult
 
 __all__ = ["SweepResult", "sweep"]
@@ -44,12 +45,15 @@ class SweepResult:
 
     ``specs[i]`` describes the grid cell that produced ``results[i]``;
     ``backend`` is the registry name (or class name) of the backend that
-    executed the grid.  Iterating yields ``(spec, result)`` pairs.
+    executed the grid.  ``cache_stats`` carries the result store's hit/miss
+    delta for this run when a memoizing ``cached:`` backend executed it
+    (``None`` otherwise).  Iterating yields ``(spec, result)`` pairs.
     """
 
     specs: List[RunSpec]
     results: List[SimulationResult]
     backend: str
+    cache_stats: Optional[StoreStats] = None
 
     def __iter__(self) -> Iterator[Tuple[RunSpec, SimulationResult]]:
         return iter(zip(self.specs, self.results))
@@ -84,4 +88,5 @@ def sweep(
         specs=specs,
         results=results,
         backend=getattr(resolved, "name", type(resolved).__name__),
+        cache_stats=getattr(resolved, "last_run_stats", None),
     )

@@ -26,7 +26,11 @@ matter how execution is scheduled.  Four backends ship in-tree:
 Backends are looked up by name in a string-keyed registry
 (:func:`register_backend` / :func:`resolve_backend`), so a future remote or
 sharded dispatch backend plugs in without touching the runner: register a
-factory under a new name and ``--backend <name>`` reaches it.
+factory under a new name and ``--backend <name>`` reaches it.  Any
+registered backend also has an implicit memoizing variant,
+``cached:<name>`` — :func:`resolve_backend` wraps the inner backend in a
+:class:`~repro.experiments.store.CachedBackend` backed by the
+content-addressed :class:`~repro.experiments.store.ResultStore`.
 
 Grouping metadata travels on the specs themselves: ``RunSpec.trace_name``
 (together with the spec's settings, which fix the trace's fidelity) is the
@@ -73,7 +77,14 @@ from repro.sim.system import BatterylessSystem
 ProgressCallback = Callable[[SimulationResult], None]
 
 #: Grouping key for lane-sharing: specs with equal keys replay one trace.
-GroupKey = Tuple[ExperimentSettings, str]
+#: The first element is the settings' canonical fingerprint (a string, see
+#: :func:`repro.experiments.store.settings_fingerprint`) rather than the
+#: settings object itself, so grouping and caching share one identity and
+#: settings subclasses with unhashable fields still group.
+GroupKey = Tuple[str, str]
+
+#: Name prefix selecting the memoizing store wrapper: ``cached:<inner>``.
+CACHED_PREFIX = "cached:"
 
 
 @dataclass(frozen=True)
@@ -103,7 +114,10 @@ class RunSpec:
     @property
     def group_key(self) -> GroupKey:
         """The lane-grouping key: specs with equal keys share a trace."""
-        return (self.settings, self.trace_name)
+        # Imported lazily: store.py imports this module at the top level.
+        from repro.experiments.store import settings_fingerprint
+
+        return (settings_fingerprint(self.settings), self.trace_name)
 
     def build_buffer(self) -> EnergyBuffer:
         """A fresh buffer instance for this cell."""
@@ -534,22 +548,45 @@ def unregister_backend(name: str) -> None:
 
 
 def available_backends() -> Tuple[str, ...]:
-    """Every registered backend name, sorted."""
-    return tuple(sorted(_REGISTRY))
+    """Every reachable backend name, sorted.
+
+    Alongside the explicitly registered names, every non-cached base
+    backend contributes its implicit memoizing ``cached:<name>`` variant
+    (resolved through :mod:`repro.experiments.store`).
+    """
+    names = set(_REGISTRY)
+    names.update(
+        CACHED_PREFIX + name
+        for name in _REGISTRY
+        if not name.startswith(CACHED_PREFIX)
+    )
+    return tuple(sorted(names))
 
 
 def resolve_backend(
     name: str, settings: Optional[ExperimentSettings] = None
 ) -> ExecutionBackend:
-    """Build the backend registered under ``name`` for ``settings``."""
-    try:
-        factory = _REGISTRY[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown execution backend {name!r}; registered backends: "
-            + ", ".join(available_backends())
-        ) from None
-    return factory(settings if settings is not None else ExperimentSettings())
+    """Build the backend registered under ``name`` for ``settings``.
+
+    ``cached:<inner>`` names without an explicit registration resolve to a
+    :class:`~repro.experiments.store.CachedBackend` wrapping the inner
+    backend, with the store rooted at ``settings.cache_dir`` (an explicit
+    registration under the full name wins).
+    """
+    if settings is None:
+        settings = ExperimentSettings()
+    factory = _REGISTRY.get(name)
+    if factory is not None:
+        return factory(settings)
+    if name.startswith(CACHED_PREFIX):
+        # Imported lazily: store.py imports this module at the top level.
+        from repro.experiments.store import cached_backend_from_settings
+
+        return cached_backend_from_settings(name, settings)
+    raise ConfigurationError(
+        f"unknown execution backend {name!r}; registered backends: "
+        + ", ".join(available_backends())
+    )
 
 
 def _pool_width(settings: ExperimentSettings) -> int:

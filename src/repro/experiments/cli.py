@@ -12,7 +12,10 @@ Grid execution is selected with ``--backend`` (``serial``, ``pool``,
 :func:`repro.experiments.backends.register_backend`).  ``--workers`` sets
 the pool width for the pool-style backends; on its own it is a deprecated
 way of selecting ``--backend pool`` (and ``--batch`` of ``--backend
-batch``; both together compose to ``pool+batch``).
+batch``; both together compose to ``pool+batch``).  ``--cache-dir DIR``
+memoizes sweep results in a content-addressed store under ``DIR``
+(equivalently, pick a ``cached:<inner>`` backend directly); ``--no-cache``
+disables the store even for an explicitly cached backend name.
 """
 
 from __future__ import annotations
@@ -75,6 +78,24 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "memoize sweep results in a content-addressed store under DIR "
+            "(wraps the selected backend in its cached:<name> variant; a "
+            "warm cache answers repeated sweeps without re-simulating)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=(
+            "disable the result store even if --backend names a cached:* "
+            "variant or --cache-dir is set"
+        ),
+    )
+    parser.add_argument(
         "--no-fast-forward",
         action="store_true",
         help=(
@@ -101,6 +122,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         batch=args.batch,
         backend=args.backend,
         fast_forward=not args.no_fast_forward,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
     )
     pooled = args.workers is not None and args.workers > 1
     if args.backend is None and (args.batch or pooled):

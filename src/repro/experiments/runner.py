@@ -77,6 +77,12 @@ class ExperimentSettings:
     process.  ``fast_forward`` controls the scalar engine's off-phase fast
     path and exists so equivalence tests and ablations can force pure
     step-by-step execution.
+
+    ``cache_dir`` points sweeps at a content-addressed result store (see
+    :mod:`repro.experiments.store`): setting it wraps the selected backend
+    in its memoizing ``cached:<name>`` variant, and ``use_cache=False``
+    (the ``--no-cache`` flag) strips the wrapper even from an explicitly
+    cached :attr:`backend` name.
     """
 
     quick: bool = False
@@ -91,6 +97,8 @@ class ExperimentSettings:
     batch: bool = False
     fast_forward: bool = True
     backend: Optional[str] = None
+    cache_dir: Optional[str] = None
+    use_cache: bool = True
 
     @property
     def backend_name(self) -> str:
@@ -98,18 +106,29 @@ class ExperimentSettings:
 
         An explicit :attr:`backend` wins; otherwise the legacy ``workers``
         / ``batch`` knobs map onto the equivalent backend, composing to
-        ``pool+batch`` when both are set.
+        ``pool+batch`` when both are set.  A configured :attr:`cache_dir`
+        then wraps the choice in its memoizing ``cached:`` variant, and
+        ``use_cache=False`` strips that prefix instead.
         """
         if self.backend:
-            return self.backend
-        pooled = (self.workers or 0) > 1
-        if self.batch and pooled:
-            return "pool+batch"
-        if self.batch:
-            return "batch"
-        if pooled:
-            return "pool"
-        return "serial"
+            base = self.backend
+        else:
+            pooled = (self.workers or 0) > 1
+            if self.batch and pooled:
+                base = "pool+batch"
+            elif self.batch:
+                base = "batch"
+            elif pooled:
+                base = "pool"
+            else:
+                base = "serial"
+        # "cached:" is the store wrapper's registry prefix; runner.py sits
+        # below backends.py in the import graph, so the literal lives here.
+        if not self.use_cache:
+            return base[len("cached:") :] if base.startswith("cached:") else base
+        if self.cache_dir is not None and not base.startswith("cached:"):
+            return f"cached:{base}"
+        return base
 
     @property
     def effective_dt_on(self) -> float:
