@@ -19,6 +19,7 @@ Run everything from the command line::
 
 from repro.experiments.runner import ExperimentSettings, ExperimentRunner, make_runner
 from repro.experiments.backends import (
+    BackendPrefix,
     BatchBackend,
     ExecutionBackend,
     PoolBatchBackend,
@@ -28,6 +29,7 @@ from repro.experiments.backends import (
     available_backends,
     execute_run_spec,
     register_backend,
+    register_backend_prefix,
     resolve_backend,
 )
 from repro.experiments.store import (
@@ -35,6 +37,12 @@ from repro.experiments.store import (
     ResultStore,
     StoreStats,
     code_version_salt,
+)
+from repro.experiments.remote import (
+    LocalWorkerPool,
+    RemoteBackend,
+    RemoteReport,
+    SweepWorker,
 )
 from repro.experiments._sweep import SweepResult, sweep
 from repro.experiments.parallel import ParallelExperimentRunner
@@ -80,6 +88,8 @@ __all__ = [
     "RunSpec",
     "execute_run_spec",
     "register_backend",
+    "register_backend_prefix",
+    "BackendPrefix",
     "resolve_backend",
     "available_backends",
     # result store
@@ -87,6 +97,11 @@ __all__ = [
     "ResultStore",
     "StoreStats",
     "code_version_salt",
+    # distributed sweep service
+    "RemoteBackend",
+    "RemoteReport",
+    "SweepWorker",
+    "LocalWorkerPool",
     # public sweep surface
     "sweep",
     "SweepResult",

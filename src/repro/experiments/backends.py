@@ -24,13 +24,18 @@ matter how execution is scheduled.  Four backends ship in-tree:
     process-pool speedup multiplied by the lockstep speedup.
 
 Backends are looked up by name in a string-keyed registry
-(:func:`register_backend` / :func:`resolve_backend`), so a future remote or
-sharded dispatch backend plugs in without touching the runner: register a
-factory under a new name and ``--backend <name>`` reaches it.  Any
-registered backend also has an implicit memoizing variant,
-``cached:<name>`` — :func:`resolve_backend` wraps the inner backend in a
-:class:`~repro.experiments.store.CachedBackend` backed by the
-content-addressed :class:`~repro.experiments.store.ResultStore`.
+(:func:`register_backend` / :func:`resolve_backend`), so a new execution
+strategy plugs in without touching the runner: register a factory under a
+new name and ``--backend <name>`` reaches it.  On top of the plain names
+sits a *composable prefix* mechanism (:func:`register_backend_prefix`):
+a prefix like ``cached:`` or ``remote:`` declares a wrapper that resolves
+``<prefix><inner>`` names by delegating to the inner backend — the
+memoizing :class:`~repro.experiments.store.CachedBackend` for ``cached:``
+and the coordinator/worker transport
+:class:`~repro.experiments.remote.RemoteBackend` for ``remote:`` — and
+declares which other prefixes it may wrap, so ``cached:remote:serial``
+resolves (a store in front of the remote transport) while
+``remote:remote:serial`` is rejected with the registry listing.
 
 Grouping metadata travels on the specs themselves: ``RunSpec.trace_name``
 (together with the spec's settings, which fix the trace's fidelity) is the
@@ -85,6 +90,9 @@ GroupKey = Tuple[str, str]
 
 #: Name prefix selecting the memoizing store wrapper: ``cached:<inner>``.
 CACHED_PREFIX = "cached:"
+
+#: Name prefix selecting the coordinator/worker transport: ``remote:<inner>``.
+REMOTE_PREFIX = "remote:"
 
 
 @dataclass(frozen=True)
@@ -547,19 +555,116 @@ def unregister_backend(name: str) -> None:
     _REGISTRY.pop(name, None)
 
 
+# Composable prefixes: a prefix is a wrapper convention over inner backend
+# names — ``<prefix><inner>`` resolves by delegating to ``<inner>``.  Each
+# prefix declares which *other* prefixes it may wrap, so the valid
+# compositions form a DAG (``cached:remote:serial`` resolves, while
+# ``remote:remote:serial`` and ``cached:cached:serial`` are rejected).
+
+#: A prefix resolver receives the *full* composed name and the settings.
+PrefixResolver = Callable[[str, ExperimentSettings], "ExecutionBackend"]
+
+
+@dataclass(frozen=True)
+class BackendPrefix:
+    """One composable name prefix: how ``<prefix><inner>`` names resolve.
+
+    ``nests`` lists the prefixes allowed at the head of the inner name;
+    a plain registered backend name is always an acceptable inner.
+    """
+
+    prefix: str
+    resolver: PrefixResolver
+    nests: Tuple[str, ...] = ()
+
+
+_PREFIX_REGISTRY: Dict[str, BackendPrefix] = {}
+
+
+def register_backend_prefix(
+    prefix: str,
+    resolver: Optional[PrefixResolver] = None,
+    *,
+    nests: Sequence[str] = (),
+    replace: bool = False,
+):
+    """Register a composable name prefix (usable as a decorator).
+
+    The mechanism behind ``cached:`` and ``remote:``: any backend name
+    starting with ``prefix`` (and not explicitly registered in full)
+    resolves through ``resolver``, which receives the full name and the
+    sweep settings and typically resolves the inner name recursively.
+    ``nests`` names the prefixes the wrapper composes over — an inner name
+    headed by any *other* prefix is rejected before the resolver runs.
+    """
+    if resolver is None:
+        return lambda wrapped: register_backend_prefix(
+            prefix, wrapped, nests=nests, replace=replace
+        )
+    if not prefix.endswith(":"):
+        raise ConfigurationError(
+            f"backend prefix {prefix!r} must end with ':' (e.g. 'cached:')"
+        )
+    if not replace and prefix in _PREFIX_REGISTRY:
+        raise ConfigurationError(
+            f"backend prefix {prefix!r} is already registered "
+            "(pass replace=True to override)"
+        )
+    _PREFIX_REGISTRY[prefix] = BackendPrefix(prefix, resolver, tuple(nests))
+    return resolver
+
+
+def unregister_backend_prefix(prefix: str) -> None:
+    """Remove ``prefix`` from the prefix registry (no-op if absent)."""
+    _PREFIX_REGISTRY.pop(prefix, None)
+
+
+def backend_name_prefix(name: str) -> Optional[BackendPrefix]:
+    """The registered prefix heading ``name``, if any (longest match)."""
+    best: Optional[BackendPrefix] = None
+    for prefix, spec in _PREFIX_REGISTRY.items():
+        if name.startswith(prefix) and (best is None or len(prefix) > len(best.prefix)):
+            best = spec
+    return best
+
+
+def split_backend_name(name: str) -> Tuple[Optional[BackendPrefix], str]:
+    """``name`` split into its heading prefix (or ``None``) and the rest."""
+    spec = backend_name_prefix(name)
+    if spec is None:
+        return None, name
+    return spec, name[len(spec.prefix) :]
+
+
 def available_backends() -> Tuple[str, ...]:
     """Every reachable backend name, sorted.
 
-    Alongside the explicitly registered names, every non-cached base
-    backend contributes its implicit memoizing ``cached:<name>`` variant
-    (resolved through :mod:`repro.experiments.store`).
+    Alongside the explicitly registered names, every registered prefix
+    contributes its implicit composed variants: ``<prefix><inner>`` for
+    each plain backend name and for each already-listed name headed by a
+    prefix the wrapper declares it nests over — so the listing contains
+    ``cached:serial``, ``remote:serial``, *and* ``cached:remote:serial``,
+    but never an invalid composition like ``remote:remote:serial``.
     """
     names = set(_REGISTRY)
-    names.update(
-        CACHED_PREFIX + name
-        for name in _REGISTRY
-        if not name.startswith(CACHED_PREFIX)
-    )
+    plain = {name for name in _REGISTRY if backend_name_prefix(name) is None}
+    # Grow to a fixpoint: the nests relation is a DAG over finitely many
+    # prefixes, so each prefix is applied at most once per composition and
+    # the closure is finite.
+    changed = True
+    while changed:
+        changed = False
+        for spec in _PREFIX_REGISTRY.values():
+            inners = set(plain)
+            for name in names:
+                heading = backend_name_prefix(name)
+                if heading is not None and heading.prefix in spec.nests:
+                    inners.add(name)
+            for inner in inners:
+                composed = spec.prefix + inner
+                if composed not in names:
+                    names.add(composed)
+                    changed = True
     return tuple(sorted(names))
 
 
@@ -568,21 +673,36 @@ def resolve_backend(
 ) -> ExecutionBackend:
     """Build the backend registered under ``name`` for ``settings``.
 
-    ``cached:<inner>`` names without an explicit registration resolve to a
-    :class:`~repro.experiments.store.CachedBackend` wrapping the inner
-    backend, with the store rooted at ``settings.cache_dir`` (an explicit
-    registration under the full name wins).
+    Prefixed names without an explicit registration resolve through the
+    prefix registry — ``cached:<inner>`` to a
+    :class:`~repro.experiments.store.CachedBackend` and ``remote:<inner>``
+    to a :class:`~repro.experiments.remote.RemoteBackend`, composable as
+    ``cached:remote:<inner>`` — while an explicit registration under the
+    full name always wins.
     """
     if settings is None:
         settings = ExperimentSettings()
     factory = _REGISTRY.get(name)
     if factory is not None:
         return factory(settings)
-    if name.startswith(CACHED_PREFIX):
-        # Imported lazily: store.py imports this module at the top level.
-        from repro.experiments.store import cached_backend_from_settings
-
-        return cached_backend_from_settings(name, settings)
+    spec, inner = split_backend_name(name)
+    if spec is not None:
+        inner_spec = backend_name_prefix(inner)
+        if not inner or (
+            inner_spec is not None and inner_spec.prefix not in spec.nests
+        ):
+            raise ConfigurationError(
+                f"invalid backend name {name!r}: expected {spec.prefix}<inner> "
+                f"where <inner> is a plain backend"
+                + (
+                    f" or one headed by {', '.join(spec.nests)}"
+                    if spec.nests
+                    else ""
+                )
+                + f", not {inner!r}; registered backends: "
+                + ", ".join(available_backends())
+            )
+        return spec.resolver(name, settings)
     raise ConfigurationError(
         f"unknown execution backend {name!r}; registered backends: "
         + ", ".join(available_backends())
@@ -610,3 +730,25 @@ register_backend(
     "pool+batch",
     lambda settings: PoolBatchBackend(workers=_pool_width(settings)),
 )
+
+
+def _resolve_cached(name: str, settings: ExperimentSettings) -> ExecutionBackend:
+    # Imported lazily: store.py imports this module at the top level.
+    from repro.experiments.store import cached_backend_from_settings
+
+    return cached_backend_from_settings(name, settings)
+
+
+def _resolve_remote(name: str, settings: ExperimentSettings) -> ExecutionBackend:
+    # Imported lazily: the remote subpackage imports this module.
+    from repro.experiments.remote import remote_backend_from_settings
+
+    return remote_backend_from_settings(name, settings)
+
+
+# The coordinator dispatches to workers that resolve the inner name
+# themselves, so ``remote:`` wraps only plain backends; the store wrapper
+# composes over the transport (``cached:remote:serial`` checks the store
+# before any worker is ever spawned).
+register_backend_prefix(REMOTE_PREFIX, _resolve_remote)
+register_backend_prefix(CACHED_PREFIX, _resolve_cached, nests=(REMOTE_PREFIX,))

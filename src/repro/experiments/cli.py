@@ -16,11 +16,19 @@ batch``; both together compose to ``pool+batch``).  ``--cache-dir DIR``
 memoizes sweep results in a content-addressed store under ``DIR``
 (equivalently, pick a ``cached:<inner>`` backend directly); ``--no-cache``
 disables the store even for an explicitly cached backend name.
+
+Distributed sweeps use the ``remote:<inner>`` backends
+(:mod:`repro.experiments.remote`): ``--backend remote:serial
+--remote-workers N`` fans the grid out over N localhost worker processes,
+``--remote-listen HOST:PORT`` accepts workers started on other machines
+with the ``react-repro worker --connect HOST:PORT`` subcommand, and
+``--verbose`` surfaces the coordinator's scheduling log.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 import warnings
@@ -40,7 +48,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all", "list"],
-        help="which artifact to regenerate ('all' for every one, 'list' to enumerate)",
+        help=(
+            "which artifact to regenerate ('all' for every one, 'list' to "
+            "enumerate); 'react-repro worker --connect HOST:PORT' instead "
+            "starts a distributed-sweep worker (see --remote-listen)"
+        ),
     )
     parser.add_argument(
         "--quick",
@@ -96,6 +108,36 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--remote-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "localhost worker processes the remote:<inner> backends spawn "
+            "per sweep (default: 2 without --remote-listen, else 0); 0 "
+            "relies entirely on externally connected workers"
+        ),
+    )
+    parser.add_argument(
+        "--remote-listen",
+        metavar="HOST:PORT",
+        default=None,
+        help=(
+            "bind address for the remote:<inner> coordinator so workers "
+            "started elsewhere ('react-repro worker --connect HOST:PORT') "
+            "can join the sweep; default binds 127.0.0.1 on an ephemeral "
+            "port, reachable only by the locally spawned workers"
+        ),
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help=(
+            "enable structured scheduling logs (worker connects, shard "
+            "dispatch/complete/requeue, retries, per-shard wall-clock)"
+        ),
+    )
+    parser.add_argument(
         "--no-fast-forward",
         action="store_true",
         help=(
@@ -109,11 +151,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "worker":
+        # The worker subcommand has a disjoint argument set (--connect et
+        # al.), so it owns its own parser rather than polluting this one.
+        from repro.experiments.remote.worker import main as worker_main
+
+        return worker_main(arguments[1:])
+
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
 
     if args.workers is not None and args.workers < 1:
         parser.error(f"--workers must be at least 1, got {args.workers}")
+    if args.remote_workers is not None and args.remote_workers < 0:
+        parser.error(
+            f"--remote-workers must be at least 0, got {args.remote_workers}"
+        )
+    if args.verbose:
+        logging.basicConfig(
+            level=logging.INFO,
+            format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        )
 
     settings = ExperimentSettings(
         quick=args.quick,
@@ -124,6 +183,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         fast_forward=not args.no_fast_forward,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        remote_workers=args.remote_workers,
+        remote_listen=args.remote_listen,
     )
     pooled = args.workers is not None and args.workers > 1
     if args.backend is None and (args.batch or pooled):

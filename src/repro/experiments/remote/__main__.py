@@ -1,0 +1,11 @@
+"""Subprocess entry: ``python -m repro.experiments.remote --connect ...``.
+
+A separate ``__main__`` (rather than running :mod:`.worker` itself with
+``-m``) keeps runpy from re-executing a module the package ``__init__``
+already imported.
+"""
+
+from repro.experiments.remote.worker import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,171 @@
+"""Wire protocol for the distributed sweep service.
+
+Coordinator and workers speak length-prefixed pickle frames over a plain
+TCP socket: every message is one frame — an 8-byte big-endian unsigned
+payload length followed by a pickled message dataclass.  Framing is the
+whole transport; there is no handshake beyond the worker's initial
+:class:`Hello` and no compression (a shard of
+:class:`~repro.experiments.backends.RunSpec`\\ s and its
+:class:`~repro.sim.results.SimulationResult`\\ s pickle to a few kilobytes).
+
+The message vocabulary:
+
+==================  =========  =============================================
+message             direction  meaning
+==================  =========  =============================================
+:class:`Hello`      w → c      worker identifies itself after connecting
+:class:`Heartbeat`  w → c      periodic liveness beacon while idle or busy
+:class:`ShardAssignment`  c → w  execute these specs through ``inner``
+:class:`ShardResult`      w → c  one result per shard spec, in shard order
+:class:`ShardFailure`     w → c  shard execution raised (traceback attached)
+:class:`Shutdown`   c → w      graceful drain: finish up and exit
+==================  =========  =============================================
+
+Trust model: frames are **pickle**, so the transport must only ever span
+hosts that already trust each other (the same boundary the stdlib's
+``multiprocessing`` listeners draw).  The default coordinator binds to
+``127.0.0.1``; binding a routable address is an explicit opt-in via
+``--remote-listen``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.backends import RunSpec
+    from repro.sim.results import SimulationResult
+
+#: Bump when a message's wire shape changes; mismatching workers are
+#: rejected at :class:`Hello` instead of failing mid-sweep on an unpickle.
+PROTOCOL_VERSION = 1
+
+#: 8-byte big-endian unsigned frame-length prefix.
+_HEADER = struct.Struct(">Q")
+
+#: Sanity bound on one frame: a garbage or misframed header is detected as
+#: a protocol error instead of an attempted multi-gigabyte allocation.
+MAX_FRAME_BYTES = 1 << 30
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Worker → coordinator, immediately after connecting."""
+
+    worker_id: str
+    pid: int
+    host: str
+    version: int = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Worker → coordinator, every heartbeat interval (idle or busy)."""
+
+    worker_id: str
+
+
+@dataclass(frozen=True)
+class ShardAssignment:
+    """Coordinator → worker: execute one shard of the expanded grid.
+
+    ``indices`` are the specs' positions in the sweep's canonical spec
+    order — carried for logging and error reporting; the worker returns
+    results in ``specs`` order and the coordinator scatters them back by
+    index.  ``inner`` names the local backend the worker executes through
+    (``serial``/``batch``/…); ``attempt`` is 1 on first dispatch and grows
+    on every requeue.
+    """
+
+    shard_id: int
+    attempt: int
+    inner: str
+    indices: Tuple[int, ...]
+    specs: Tuple["RunSpec", ...]
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """Worker → coordinator: one result per assigned spec, in shard order."""
+
+    shard_id: int
+    attempt: int
+    worker_id: str
+    results: Tuple["SimulationResult", ...]
+    wall_seconds: float
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """Worker → coordinator: the shard raised; ``error`` is the traceback."""
+
+    shard_id: int
+    attempt: int
+    worker_id: str
+    error: str
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Coordinator → worker: the sweep is drained; exit cleanly."""
+
+    reason: str = "drained"
+
+
+def send_message(sock: socket.socket, message: Any) -> None:
+    """Send one framed message (length prefix + pickle payload)."""
+    blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(blob)) + blob)
+
+
+def recv_message(sock: socket.socket) -> Optional[Any]:
+    """Receive one framed message; ``None`` on a clean EOF between frames.
+
+    An EOF *inside* a frame (header or payload truncated) raises
+    :class:`ConnectionError` — the peer died mid-send — as does a frame
+    length beyond :data:`MAX_FRAME_BYTES` (a misframed or foreign stream).
+    """
+    header = _recv_exact(sock, _HEADER.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ConnectionError(
+            f"refusing protocol frame of {length} bytes (misframed stream?)"
+        )
+    blob = _recv_exact(sock, length, eof_ok=False)
+    return pickle.loads(blob)
+
+
+def _recv_exact(
+    sock: socket.socket, count: int, eof_ok: bool
+) -> Optional[bytes]:
+    """Exactly ``count`` bytes, or ``None`` on EOF at a frame boundary."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if eof_ok and remaining == count:
+                return None
+            raise ConnectionError(
+                f"connection closed mid-frame ({count - remaining} of "
+                f"{count} bytes received)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def parse_address(text: str, default_host: str = "127.0.0.1") -> Tuple[str, int]:
+    """``"HOST:PORT"`` (or ``":PORT"``) parsed into a ``(host, port)`` pair."""
+    host, separator, port_text = text.rpartition(":")
+    if not separator or not port_text.isdigit():
+        raise ValueError(
+            f"expected an address of the form HOST:PORT, got {text!r}"
+        )
+    return (host or default_host, int(port_text))

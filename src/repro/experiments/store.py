@@ -88,7 +88,15 @@ DEFAULT_CACHE_DIR = ".sweep-cache"
 #: Settings fields that select *how* a sweep executes, not *what* it
 #: computes — excluded from fingerprints so results cache across backends.
 EXECUTION_ONLY_FIELDS = frozenset(
-    {"backend", "batch", "cache_dir", "use_cache", "workers"}
+    {
+        "backend",
+        "batch",
+        "cache_dir",
+        "use_cache",
+        "workers",
+        "remote_workers",
+        "remote_listen",
+    }
 )
 
 #: Name of the per-store JSON stats dump (the CI cache gate reads it).
@@ -372,11 +380,22 @@ class CachedBackend:
     as ``SweepResult.cache_stats``.  ``progress`` fires in spec order after
     the grid completes (hits and misses finish interleaved, so there is no
     meaningful earlier moment per cell).
+
+    ``write_stats_file`` controls the per-root ``store-stats.json`` dump:
+    remote sweep *workers* write results through a shared store but pass
+    ``False`` so their partial, per-process counters never clobber the
+    coordinating client's stats file.
     """
 
-    def __init__(self, inner: "ExecutionBackend", store: ResultStore) -> None:
+    def __init__(
+        self,
+        inner: "ExecutionBackend",
+        store: ResultStore,
+        write_stats_file: bool = True,
+    ) -> None:
         self.inner = inner
         self.store = store
+        self.write_stats_file = write_stats_file
         self.last_run_stats: Optional[StoreStats] = None
 
     @property
@@ -404,7 +423,8 @@ class CachedBackend:
                 self.store.store(specs[index], result)
                 results[index] = result
         self.last_run_stats = self.store.stats - before
-        self.store.write_stats()
+        if self.write_stats_file:
+            self.store.write_stats()
         ordered: List[SimulationResult] = []
         for result in results:
             assert result is not None  # every spec is a hit or a computed miss
