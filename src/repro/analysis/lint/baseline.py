@@ -1,0 +1,119 @@
+"""Committed baseline: the grandfathering escape hatch.
+
+A baseline entry matches findings by ``(rule, path, stripped source
+line)`` rather than by line number, so unrelated edits that shift a file
+do not invalidate it — while any edit to the flagged line itself (the
+edit that should re-open the question) does.  Every entry must carry a
+written justification; an entry that no longer matches anything is
+reported so the baseline can only shrink, never silently rot.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.lint.core import Finding
+
+BASELINE_VERSION = 1
+
+#: Default baseline filename, looked up from the repo root by the CLI.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    rule: str
+    path: str
+    line_text: str
+    justification: str
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.line_text)
+
+
+class Baseline:
+    """A set of grandfathered findings with consume-once matching.
+
+    Two identical flagged lines in one file need two entries: matching
+    consumes an entry per finding, so the baseline cannot quietly cover
+    new copies of an old violation.
+    """
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries = list(entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        payload = json.loads(Path(path).read_text())
+        if payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r} in {path}"
+            )
+        entries = []
+        for raw in payload.get("entries", []):
+            entry = BaselineEntry(
+                rule=raw["rule"],
+                path=raw["path"],
+                line_text=raw["line_text"],
+                justification=str(raw.get("justification", "")).strip(),
+            )
+            if not entry.justification:
+                raise ValueError(
+                    f"baseline entry for {entry.rule} at {entry.path} has no "
+                    "justification; grandfathered findings must say why"
+                )
+            entries.append(entry)
+        return cls(entries)
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], justification: str
+    ) -> "Baseline":
+        return cls(
+            [
+                BaselineEntry(f.rule, f.path, f.line_text, justification)
+                for f in findings
+            ]
+        )
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {
+                    "rule": entry.rule,
+                    "path": entry.path,
+                    "line_text": entry.line_text,
+                    "justification": entry.justification,
+                }
+                for entry in self.entries
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], int, List[BaselineEntry]]:
+        """``(survivors, suppressed_count, unmatched_entries)``."""
+        budget: Dict[Tuple[str, str, str], int] = {}
+        for entry in self.entries:
+            budget[entry.key] = budget.get(entry.key, 0) + 1
+        survivors: List[Finding] = []
+        suppressed = 0
+        for finding in findings:
+            key = (finding.rule, finding.path, finding.line_text)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                suppressed += 1
+            else:
+                survivors.append(finding)
+        unmatched = [entry for entry in self.entries if budget.get(entry.key, 0) > 0]
+        for entry in unmatched:
+            budget[entry.key] -= 1
+        return survivors, suppressed, unmatched

@@ -1,0 +1,336 @@
+"""``thread-ownership``: a lightweight static race detector for ``remote/``.
+
+The distributed-sweep subsystem's concurrency contract (documented in
+``coordinator.py``) is *single ownership*: all scheduling state belongs to
+the dispatching main loop, and the socket threads (accept thread,
+per-connection readers, the worker's heartbeat thread) communicate with it
+exclusively by pushing onto an event queue — or, for the few shared
+primitives, under a lock.
+
+This rule checks that contract per class:
+
+1. **Thread entry points** are methods passed as ``target=self.<m>`` to a
+   ``Thread(...)`` construction anywhere in the class.
+2. The intra-class call graph assigns every method its execution
+   *contexts*: the main context (reachable from public methods without
+   crossing a thread spawn) and/or one context per thread entry point
+   (reachable from that entry).
+3. **Mutations** of ``self.<attr>`` — assignments (including subscript
+   writes like ``self.pending[shard] = ...``), augmented assignments, and
+   calls to mutating container methods — are collected per method,
+   except inside ``__init__`` (construction happens-before every thread
+   start) and except through the sanctioned channels: ``put``/``get`` on
+   attributes built from ``queue.Queue(...)``, ``set``/``clear``/``wait``
+   on ``threading.Event()`` attributes, and any mutation inside a
+   ``with self.<lock>:`` block over a ``threading.Lock()``/``RLock()``
+   attribute.
+4. An attribute mutated from more than one context — or from a helper
+   that is itself reachable from several contexts — is reported at every
+   mutation site that involves a thread context.
+
+The detector is intentionally conservative and class-local: it does not
+track aliasing, objects handed between classes, or cross-module sharing.
+It exists to catch the cheap-to-catch, expensive-to-debug mistake — a
+reader loop "just updating" a scheduling field instead of enqueueing an
+event — the moment it is written, not when a sweep hangs in CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.lint.core import Finding, Rule, SourceFile
+
+#: Constructors whose instances are sanctioned cross-thread channels.
+_QUEUE_TYPES = ("Queue", "LifoQueue", "PriorityQueue", "SimpleQueue")
+_LOCK_TYPES = ("Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore")
+_EVENT_TYPES = ("Event",)
+
+#: Methods that mutate their receiver (containers and channels alike).
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "extendleft",
+        "insert",
+        "remove",
+        "pop",
+        "popleft",
+        "clear",
+        "add",
+        "discard",
+        "update",
+        "setdefault",
+        "sort",
+        "reverse",
+        "put",
+        "put_nowait",
+        "set",
+    }
+)
+
+#: Methods that are safe on the sanctioned channel types from any thread.
+_CHANNEL_SAFE = frozenset(
+    {"put", "put_nowait", "get", "get_nowait", "task_done", "set", "clear", "wait"}
+)
+
+_MAIN = "main"
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``attr`` when ``node`` is ``self.<attr>``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _mutated_attr(node: ast.AST) -> Optional[str]:
+    """``attr`` when ``node`` writes ``self.<attr>`` or ``self.<attr>[...]``.
+
+    Subscript writes are how the coordinator mutates its scheduling dicts
+    (``self.pending[shard] = ...``), so they count as mutations of the
+    container attribute.
+    """
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return _self_attr(node)
+
+
+def _flatten_targets(node: ast.AST):
+    """Individual targets of a (possibly tuple-unpacking) assignment."""
+    if isinstance(node, (ast.Tuple, ast.List)):
+        for element in node.elts:
+            yield from _flatten_targets(element)
+    elif isinstance(node, ast.Starred):
+        yield from _flatten_targets(node.value)
+    else:
+        yield node
+
+
+@dataclass
+class _Mutation:
+    attr: str
+    method: str
+    node: ast.AST
+    locked: bool
+
+
+@dataclass
+class _ClassModel:
+    name: str
+    methods: Dict[str, ast.AST] = field(default_factory=dict)
+    queue_attrs: Set[str] = field(default_factory=set)
+    lock_attrs: Set[str] = field(default_factory=set)
+    event_attrs: Set[str] = field(default_factory=set)
+    thread_entries: Set[str] = field(default_factory=set)
+    calls: Dict[str, Set[str]] = field(default_factory=dict)  # method -> callees
+    mutations: List[_Mutation] = field(default_factory=list)
+
+
+class ThreadOwnershipRule(Rule):
+    id = "thread-ownership"
+    description = (
+        "scheduling state is single-owner: an instance attribute mutated "
+        "by a thread entry point must flow through the event queue or a "
+        "held lock, never be written from two execution contexts"
+    )
+    scope = ("repro/experiments/remote/*.py",)
+
+    def check(self, source: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in source.tree.body:
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(source, node))
+        return findings
+
+    # ------------------------------------------------------------------
+    # Model building
+    # ------------------------------------------------------------------
+
+    def _check_class(
+        self, source: SourceFile, class_node: ast.ClassDef
+    ) -> List[Finding]:
+        model = self._build_model(class_node)
+        if not model.thread_entries:
+            return []  # no threads spawned here: nothing to own
+        contexts = self._contexts(model)
+        return self._report(source, model, contexts)
+
+    def _build_model(self, class_node: ast.ClassDef) -> _ClassModel:
+        model = _ClassModel(class_node.name)
+        for statement in class_node.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                model.methods[statement.name] = statement
+        for name, method in model.methods.items():
+            self._scan_method(model, name, method)
+        return model
+
+    def _scan_method(self, model: _ClassModel, name: str, method: ast.AST) -> None:
+        model.calls.setdefault(name, set())
+        lock_depth = 0
+
+        def visit(node: ast.AST) -> None:
+            nonlocal lock_depth
+            if isinstance(node, ast.With):
+                held = sum(
+                    1
+                    for item in node.items
+                    if (attr := _self_attr(item.context_expr)) is not None
+                    and attr in model.lock_attrs
+                )
+                lock_depth += held
+                for child in ast.iter_child_nodes(node):
+                    visit(child)
+                lock_depth -= held
+                return
+
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                annotation_only = isinstance(node, ast.AnnAssign) and node.value is None
+                for target in (t for raw in targets for t in _flatten_targets(raw)):
+                    attr = _mutated_attr(target)
+                    if attr is None or annotation_only:
+                        continue
+                    if _self_attr(target) is not None:
+                        # Only a direct ``self.attr = Queue()`` binding (not a
+                        # subscript write into it) classifies the channel.
+                        self._classify_channel(model, attr, node)
+                    model.mutations.append(
+                        _Mutation(attr, name, node, locked=lock_depth > 0)
+                    )
+
+            if isinstance(node, ast.Call):
+                # Thread(target=self.<m>) registers a thread entry point.
+                if _terminal_name(node.func) == "Thread":
+                    for keyword in node.keywords:
+                        if keyword.arg == "target":
+                            target_attr = _self_attr(keyword.value)
+                            if target_attr is not None:
+                                model.thread_entries.add(target_attr)
+                # self.<m>(...) is an intra-class call-graph edge;
+                # self.<attr>.<mutator>(...) is an attribute mutation.
+                if isinstance(node.func, ast.Attribute):
+                    receiver_attr = _self_attr(node.func)
+                    if receiver_attr is not None and receiver_attr in model.methods:
+                        model.calls[name].add(receiver_attr)
+                    chained = _self_attr(node.func.value)
+                    if chained is not None and node.func.attr in _MUTATING_METHODS:
+                        channel = chained in model.queue_attrs | model.event_attrs
+                        if not (channel and node.func.attr in _CHANNEL_SAFE):
+                            model.mutations.append(
+                                _Mutation(chained, name, node, locked=lock_depth > 0)
+                            )
+
+            for child in ast.iter_child_nodes(node):
+                visit(child)
+
+        visit(method)
+
+    @staticmethod
+    def _classify_channel(model: _ClassModel, attr: str, node: ast.AST) -> None:
+        value = getattr(node, "value", None)
+        if not isinstance(value, ast.Call):
+            return
+        constructor = _terminal_name(value.func)
+        if constructor in _QUEUE_TYPES:
+            model.queue_attrs.add(attr)
+        elif constructor in _LOCK_TYPES:
+            model.lock_attrs.add(attr)
+        elif constructor in _EVENT_TYPES:
+            model.event_attrs.add(attr)
+
+    # ------------------------------------------------------------------
+    # Context propagation and reporting
+    # ------------------------------------------------------------------
+
+    def _contexts(self, model: _ClassModel) -> Dict[str, Set[str]]:
+        """Execution contexts per method: ``main`` and/or thread entries."""
+
+        def closure(seeds: Set[str], *, enter_entries: bool) -> Set[str]:
+            reached = set(seeds)
+            frontier = list(seeds)
+            while frontier:
+                current = frontier.pop()
+                for callee in model.calls.get(current, ()):
+                    if not enter_entries and callee in model.thread_entries:
+                        continue  # calling an entry inline is not spawning it
+                    if callee not in reached:
+                        reached.add(callee)
+                        frontier.append(callee)
+            return reached
+
+        called_by_someone = {
+            callee for callees in model.calls.values() for callee in callees
+        }
+        main_seeds = {
+            name
+            for name in model.methods
+            if name not in model.thread_entries and name not in called_by_someone
+        }
+        main_reach = closure(main_seeds, enter_entries=False)
+        contexts: Dict[str, Set[str]] = {name: set() for name in model.methods}
+        for name in main_reach:
+            contexts[name].add(_MAIN)
+        for entry in model.thread_entries:
+            for name in closure({entry}, enter_entries=True):
+                contexts[name].add(f"thread:{entry}")
+        for name, ctxs in contexts.items():
+            if not ctxs:
+                ctxs.add(_MAIN)  # unreachable helper: assume main
+        return contexts
+
+    def _report(
+        self,
+        source: SourceFile,
+        model: _ClassModel,
+        contexts: Dict[str, Set[str]],
+    ) -> List[Finding]:
+        sites: Dict[str, List[Tuple[_Mutation, Set[str]]]] = {}
+        for mutation in model.mutations:
+            if mutation.method == "__init__":
+                continue  # construction happens-before every thread start
+            if mutation.locked:
+                continue  # held lock: sanctioned
+            ctxs = contexts.get(mutation.method, {_MAIN})
+            sites.setdefault(mutation.attr, []).append((mutation, ctxs))
+
+        findings = []
+        for attr, attr_sites in sorted(sites.items()):
+            all_contexts: Set[str] = set()
+            for _, ctxs in attr_sites:
+                all_contexts |= ctxs
+            if len(all_contexts) < 2:
+                continue
+            owner = _MAIN if _MAIN in all_contexts else sorted(all_contexts)[0]
+            for mutation, ctxs in attr_sites:
+                if ctxs == {owner}:
+                    continue
+                offending = sorted(ctxs - {owner}) or sorted(ctxs)
+                findings.append(
+                    self.finding(
+                        source,
+                        mutation.node,
+                        f"{model.name}.{attr} is mutated from "
+                        f"{' and '.join(offending)} in {mutation.method}() but "
+                        f"owned by {owner} (also mutated there); route the "
+                        "update through the event queue or hold a lock",
+                    )
+                )
+        return findings

@@ -14,6 +14,8 @@ fungibility-versus-provisioning tradeoff the paper argues motivates REACT.
 
 from __future__ import annotations
 
+import math
+
 from typing import Dict
 
 from repro.buffers.base import EnergyBuffer
@@ -116,7 +118,7 @@ class CapybaraBuffer(EnergyBuffer):
         if energy <= 0.0:
             return self.base.voltage
         new_energy = min(self.base.energy + energy, self.base.max_energy)
-        return (2.0 * new_energy / self.base.capacitance) ** 0.5
+        return math.sqrt(2.0 * new_energy / self.base.capacitance)
 
     # -- energy flow -----------------------------------------------------------------------
 

@@ -13,6 +13,8 @@ varying the enable point alone cannot match an energy-adaptive capacitance.
 
 from __future__ import annotations
 
+import math
+
 from typing import Optional
 
 from repro.buffers.static import StaticBuffer
@@ -61,7 +63,7 @@ class DewdropBuffer(StaticBuffer):
             raise ValueError(f"task energy must be non-negative, got {task_energy}")
         floor_energy = capacitor_energy(self.capacitance, self.brownout_voltage)
         needed = floor_energy + task_energy
-        voltage = (2.0 * needed / self.capacitance) ** 0.5
+        voltage = math.sqrt(2.0 * needed / self.capacitance)
         return max(self.minimum_enable_voltage, min(voltage, self.max_voltage))
 
     def longevity_satisfied(self) -> bool:

@@ -78,10 +78,12 @@ class MorphyConfiguration:
     @property
     def caps_used(self) -> int:
         """Capacitors participating in this configuration."""
+        # repro-lint: disable=ledger-sum -- integer capacitor count, not a float ledger
         return sum(self.groups) + self.across
 
     def chain_capacitance(self, unit: float) -> float:
         """Equivalent capacitance of the series chain alone."""
+        # repro-lint: disable=ledger-sum -- configuration-table arithmetic; the batch kernel calls this same helper, so there is one add order
         return 1.0 / sum(1.0 / (size * unit) for size in self.groups)
 
     def equivalent_capacitance(self, unit: float) -> float:
@@ -304,10 +306,12 @@ class MorphyBuffer(EnergyBuffer):
     @property
     def output_voltage(self) -> float:
         voltages = self._voltages
+        # repro-lint: disable=ledger-sum -- scalar reference order: builtin sum is sequential left-to-right; MorphyBatchKernel mirrors it with sequential column adds
         return sum(voltages[first] for first in self._level_firsts[self.level])
 
     @property
     def stored_energy(self) -> float:
+        # repro-lint: disable=ledger-sum -- scalar reference order: builtin sum is sequential left-to-right; MorphyBatchKernel mirrors it with sequential column adds
         return sum(
             capacitor_energy(self.unit_capacitance, voltage)
             for voltage in self._voltages
@@ -506,6 +510,7 @@ class MorphyBuffer(EnergyBuffer):
 
         # Phase 1: members of each new parallel group equalize.
         for group in groups:
+            # repro-lint: disable=ledger-sum -- scalar reference order: builtin sum is sequential left-to-right; MorphyBatchKernel mirrors it with sequential column adds
             mean_voltage = sum(self._voltages[i] for i in group) / len(group)
             for i in group:
                 self._voltages[i] = mean_voltage
@@ -513,7 +518,9 @@ class MorphyBuffer(EnergyBuffer):
         # Phase 2: the chain and every across capacitor equalize at the output.
         unit = self.unit_capacitance
         chain_capacitance = config.chain_capacitance(unit)
+        # repro-lint: disable=ledger-sum -- scalar reference order: builtin sum is sequential left-to-right; MorphyBatchKernel mirrors it with sequential column adds
         chain_output = sum(self._voltages[group[0]] for group in groups)
+        # repro-lint: disable=ledger-sum -- scalar reference order: builtin sum is sequential left-to-right; MorphyBatchKernel mirrors it with sequential column adds
         numerator = chain_capacitance * chain_output + unit * sum(
             self._voltages[i] for i in across
         )

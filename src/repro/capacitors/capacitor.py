@@ -219,7 +219,7 @@ class Capacitor:
         available = max(0.0, self.energy - floor_energy)
         delivered = min(energy, available)
         new_energy = self.energy - delivered
-        self._charge = (2.0 * new_energy * self.capacitance) ** 0.5
+        self._charge = math.sqrt(2.0 * new_energy * self.capacitance)
         self.ledger.delivered += delivered
         return delivered
 

@@ -14,6 +14,8 @@ analytic experiments (`experiments/switching_loss.py`) share it.
 
 from __future__ import annotations
 
+import math
+
 from typing import Iterable, Sequence, Tuple
 
 from repro.units import capacitor_energy
@@ -131,7 +133,7 @@ def transfer_energy_between(
     new_source_energy = (
         capacitor_energy(source_capacitance, source_voltage) - max_energy
     )
-    new_source_voltage = (2.0 * new_source_energy / source_capacitance) ** 0.5
+    new_source_voltage = math.sqrt(2.0 * new_source_energy / source_capacitance)
     charge_moved = source_capacitance * (source_voltage - new_source_voltage)
     new_sink_voltage = min(
         sink_voltage + charge_moved / sink_capacitance, new_source_voltage

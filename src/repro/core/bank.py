@@ -13,6 +13,8 @@ the fabric is ``N × V_cell`` in series and ``V_cell`` in parallel.
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -235,7 +237,7 @@ class CapacitorBank:
         if stored <= 0.0:
             return 0.0
         new_energy = stored_now + stored
-        self.cell_voltage = (2.0 * new_energy / (count * unit)) ** 0.5
+        self.cell_voltage = math.sqrt(2.0 * new_energy / (count * unit))
         return stored
 
     def set_output_voltage(self, output_voltage: float) -> None:

@@ -23,6 +23,10 @@ Distributed sweeps use the ``remote:<inner>`` backends
 ``--remote-listen HOST:PORT`` accepts workers started on other machines
 with the ``react-repro worker --connect HOST:PORT`` subcommand, and
 ``--verbose`` surfaces the coordinator's scheduling log.
+
+``react-repro lint`` runs the repo's invariant linter
+(:mod:`repro.analysis.lint`) over the installed package — the same
+blocking check CI applies.
 """
 
 from __future__ import annotations
@@ -51,7 +55,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "which artifact to regenerate ('all' for every one, 'list' to "
             "enumerate); 'react-repro worker --connect HOST:PORT' instead "
-            "starts a distributed-sweep worker (see --remote-listen)"
+            "starts a distributed-sweep worker (see --remote-listen), and "
+            "'react-repro lint' runs the repo invariant linter"
         ),
     )
     parser.add_argument(
@@ -158,6 +163,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments.remote.worker import main as worker_main
 
         return worker_main(arguments[1:])
+    if arguments and arguments[0] == "lint":
+        # Same pattern: the invariant linter owns its own parser.
+        from repro.analysis.lint.cli import main as lint_main
+
+        return lint_main(arguments[1:])
 
     parser = build_parser()
     args = parser.parse_args(arguments)

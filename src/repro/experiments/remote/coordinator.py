@@ -386,7 +386,11 @@ class _Coordinator:
         while True:
             try:
                 message = protocol.recv_message(handle.conn)
-            except Exception:
+            except Exception as error:
+                # Any transport or unpickling failure means this worker's
+                # connection is done for; the main loop warns when it drains
+                # the "lost" event, this records the proximate cause.
+                log.debug("worker %s socket read failed: %s", handle.label, error)
                 break
             if message is None:
                 break

@@ -39,6 +39,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 import pickle
 import uuid
@@ -66,6 +67,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
         RunSpec,
     )
     from repro.experiments.runner import ExperimentSettings
+
+log = logging.getLogger("repro.experiments.store")
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
@@ -329,16 +332,34 @@ class ResultStore:
         return self.root / key[:2] / f"{key}.pkl"
 
     def load(self, spec: "RunSpec") -> Optional[SimulationResult]:
-        """The stored result for ``spec``, or ``None`` (a miss)."""
+        """The stored result for ``spec``, or ``None`` (a miss).
+
+        A missing entry is the ordinary cold miss and stays quiet; an
+        entry that exists but cannot be used (unreadable, torn, corrupt,
+        or carrying a foreign fingerprint) is *also* a miss — the store's
+        corruption-tolerance contract — but leaves a log trail, so a
+        recurring bad entry is diagnosable instead of silently
+        re-simulated forever.
+        """
+        path = self.entry_path(spec)
         try:
-            blob = self.entry_path(spec).read_bytes()
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            self._record(misses=1)
+            return None
+        except OSError as error:
+            log.warning("unreadable store entry %s treated as a miss: %s", path, error)
+            self._record(misses=1)
+            return None
+        try:
             payload = pickle.loads(blob)
             result = payload["result"]
             if payload["fingerprint"] != spec_fingerprint(spec):
                 raise ValueError("fingerprint mismatch")
             if not isinstance(result, SimulationResult):
                 raise TypeError("entry does not hold a SimulationResult")
-        except Exception:  # missing, torn, corrupt, or foreign entry
+        except Exception as error:  # torn, corrupt, or foreign entry
+            log.warning("corrupt store entry %s treated as a miss: %s", path, error)
             self._record(misses=1)
             return None
         self._record(hits=1, bytes_read=len(blob))

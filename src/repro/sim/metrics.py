@@ -53,10 +53,18 @@ def geometric_mean(values: Sequence[float]) -> float:
 
 
 def mean(values: Sequence[float]) -> float:
-    """Arithmetic mean of a sequence (0.0 for an empty sequence)."""
+    """Arithmetic mean of a sequence (0.0 for an empty sequence).
+
+    Accumulated sequentially (not via ``sum()``) so the result is
+    bit-identical however the caller's values were produced — these means
+    feed tables that the cross-backend equivalence suites diff exactly.
+    """
     if not values:
         return 0.0
-    return sum(values) / len(values)
+    total = 0.0
+    for value in values:
+        total += value
+    return total / len(values)
 
 
 def aggregate_results(
