@@ -40,6 +40,7 @@ GATED_RATIOS: Tuple[Tuple[str, str], ...] = (
     ("batched_capacitance_sweep", "batched_speedup_vs_serial"),
     ("batched_capacitance_sweep", "batch_segment_skip_speedup"),
     ("morphy_batched_sweep", "batched_speedup_vs_serial"),
+    ("react_batched_sweep", "batched_speedup_vs_serial"),
     ("grid_sweep", "fast_path_speedup"),
     ("mixed_grid_react_heavy", "fast_path_speedup"),
 )

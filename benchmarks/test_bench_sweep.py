@@ -30,6 +30,7 @@ import numpy as np
 
 from benchmarks.conftest import record_sweep_metrics, run_once
 from repro.buffers.morphy import MorphyBuffer
+from repro.buffers.react_adapter import ReactBuffer
 from repro.buffers.static import StaticBuffer
 from repro.experiments.backends import (
     BatchBackend,
@@ -39,7 +40,7 @@ from repro.experiments.backends import (
 from repro.experiments.remote import RemoteBackend
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments import sweep
-from repro.units import millifarads
+from repro.units import milliamps, millifarads
 
 #: A representative slice of the grid: every buffer and every trace, two
 #: workloads (one throughput-style, one reactivity-style).  Small enough to
@@ -78,6 +79,29 @@ def morphy_sweep_buffers():
             unit_capacitance=millifarads(float(size)), name=f"Morphy {size:.3f} mF"
         )
         for size in MORPHY_SWEEP_SIZES_MF
+    ]
+
+
+#: The REACT sweep: polling-overhead sensitivity of the reconfigurable
+#: fabric.  Every lane shares the Table-1 ``ReactConfig`` (one batch key,
+#: so the batch backend packs the whole trace column into a single
+#: :class:`~repro.buffers.react_batch.ReactBatchKernel`) and sweeps the
+#: MCU active-current hint the 10 Hz polling-overhead model charges —
+#: per-lane kernel state, not part of the batch key.  Two alignment-heavy
+#: workloads keep the lanes in lockstep so the full-batch on-phase replay
+#: engages (REACT's ``fast_forward_needs_full_batch`` economics).
+REACT_SWEEP_HINTS_MA = np.linspace(0.5, 3.0, 40)
+REACT_SWEEP_TRACES = ("RF Cart",)
+
+
+def react_sweep_buffers():
+    """Module-level factory: one REACT adapter per swept polling hint."""
+    return [
+        ReactBuffer(
+            name=f"REACT {hint:.3f} mA",
+            active_current_hint=milliamps(float(hint)),
+        )
+        for hint in REACT_SWEEP_HINTS_MA
     ]
 
 
@@ -374,6 +398,77 @@ def test_bench_morphy_batched_sweep(benchmark, bench_settings):
     record_sweep_metrics("morphy_batched_sweep", benchmark.extra_info)
     assert speedup >= 1.4, (
         f"batched Morphy sweep should beat serial throughput, got {speedup:.2f}x"
+    )
+
+
+def test_bench_react_batched_sweep(benchmark, bench_settings):
+    """Batched lockstep sweep of the REACT polling-overhead column.
+
+    Every (hint × workload) REACT cell of a trace shares one
+    :class:`~repro.buffers.react_batch.ReactBatchKernel` (the swept MCU
+    active-current hint is per-lane kernel state, not part of the batch
+    key), so the batch backend packs the trace's 80 lanes into a single
+    vectorized run and the ``pool+batch`` backend shards them across
+    workers.  Correctness gates the test — both grids must agree with the
+    serial grid exactly on every counter — and the single-core batched
+    speedup is asserted at the 1.3× floor.  REACT's per-step cost is
+    round-loop heavy (bank equalization, the harvest argmin scan), so the
+    vectorized step costs more dispatches than Morphy's and the lockstep
+    win needs wide batches: the 80-lane column clears the floor with
+    margin (locally ~1.6–1.9×) where a 20-lane batch would not.
+    """
+    serial_runner = ExperimentRunner(
+        bench_settings, buffer_factory=react_sweep_buffers
+    )
+    batch_runner = ExperimentRunner(
+        bench_settings,
+        buffer_factory=react_sweep_buffers,
+        backend=BatchBackend(),
+    )
+
+    started = time.perf_counter()
+    serial = serial_runner.run_grid(
+        workloads=SWEEP_WORKLOADS, trace_names=REACT_SWEEP_TRACES
+    )
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batched = run_once(
+        benchmark,
+        batch_runner.run_grid,
+        workloads=SWEEP_WORKLOADS,
+        trace_names=REACT_SWEEP_TRACES,
+    )
+    batched_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    pool_batch = sweep(
+        workloads=SWEEP_WORKLOADS,
+        trace_names=REACT_SWEEP_TRACES,
+        settings=bench_settings,
+        buffer_factory=react_sweep_buffers,
+        backend=PoolBatchBackend(workers=4),
+    ).results
+    pool_batch_seconds = time.perf_counter() - started
+
+    _assert_sweep_matches_serial(serial, batched)
+    _assert_sweep_matches_serial(serial, pool_batch)
+
+    speedup = serial_seconds / batched_seconds
+    benchmark.extra_info["grid_cells"] = len(serial)
+    benchmark.extra_info["lanes_per_trace"] = len(REACT_SWEEP_HINTS_MA) * len(
+        SWEEP_WORKLOADS
+    )
+    benchmark.extra_info["serial_seconds"] = round(serial_seconds, 3)
+    benchmark.extra_info["batched_seconds"] = round(batched_seconds, 3)
+    benchmark.extra_info["batched_speedup_vs_serial"] = round(speedup, 3)
+    benchmark.extra_info["pool_batch_workers4_seconds"] = round(pool_batch_seconds, 3)
+    benchmark.extra_info["pool_batch_speedup_vs_serial"] = round(
+        serial_seconds / pool_batch_seconds, 3
+    )
+    record_sweep_metrics("react_batched_sweep", benchmark.extra_info)
+    assert speedup >= 1.3, (
+        f"batched REACT sweep should beat serial throughput, got {speedup:.2f}x"
     )
 
 

@@ -120,6 +120,20 @@ class LockstepKernel:
         """
         return self.post_harvest_voltage_bound(energy)
 
+    def _replay_load(
+        self, load: np.ndarray, stepping: np.ndarray, system_on: bool
+    ) -> np.ndarray:
+        """Per-lane draw current for one replayed step, masked to the movers.
+
+        The engine hands the replay a per-lane constant ``load``; kernels
+        whose scalar counterpart re-evaluates a state-dependent
+        :meth:`EnergyBuffer.overhead_current` inside every fast-forwarded
+        step (``dynamic_overhead`` kernels — REACT ties it to the output
+        voltage and connected-bank count) override this to add that term
+        before the mask, mirroring the scalar replay loops bit for bit.
+        """
+        return np.where(stepping, load, 0.0)
+
     def fast_forward(self, energy_in, load, dt, times, plan):
         """Advance off-phase lanes through whole-segment replay.
 
@@ -153,7 +167,7 @@ class LockstepKernel:
             if harvesting:
                 self.harvest(np.where(stepping, energy_in, 0.0))
             masked_dt = np.where(stepping, dt, 0.0)
-            self.draw(np.where(stepping, load, 0.0), masked_dt)
+            self.draw(self._replay_load(load, stepping, False), masked_dt)
             self.housekeeping(np.where(stepping, times, never), masked_dt)
             times = np.where(stepping, times + dt, times)
             consumed += stepping
@@ -198,7 +212,7 @@ class LockstepKernel:
             if harvesting:
                 self.harvest(np.where(stepping, energy_in, 0.0))
             masked_dt = np.where(stepping, dt, 0.0)
-            self.draw(np.where(stepping, load, 0.0), masked_dt)
+            self.draw(self._replay_load(load, stepping, True), masked_dt)
             self.housekeeping(np.where(stepping, times, never), masked_dt)
             times = np.where(stepping, times + dt, times)
             consumed += stepping

@@ -10,9 +10,13 @@ cost) are charged against the system.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Dict, Hashable, Optional
 
 from repro.buffers.base import EnergyBuffer
+from repro.capacitors.leakage import (
+    ConstantCurrentLeakage,
+    VoltageProportionalLeakage,
+)
 from repro.core.config import ReactConfig, table1_config
 from repro.core.controller import ReactController
 from repro.core.hardware import ReactHardware
@@ -23,6 +27,11 @@ class ReactBuffer(EnergyBuffer):
     """Energy-adaptive buffer built from REACT's reconfigurable bank fabric."""
 
     supports_longevity = True
+
+    #: The adapter vouches that its harvest/draw/housekeeping hooks are the
+    #: exact arithmetic the lockstep kernel mirrors (see
+    #: :meth:`~repro.buffers.static.StaticBuffer.batch_key`).
+    batch_exact = True
 
     def __init__(
         self,
@@ -99,6 +108,37 @@ class ReactBuffer(EnergyBuffer):
         snapshot["capacitance_level"] = float(self.capacitance_level)
         snapshot["connected_banks"] = float(len(self.hardware.connected_banks))
         return snapshot
+
+    # -- multi-system batching ------------------------------------------------------
+
+    def batch_key(self) -> Optional[Hashable]:
+        """Lockstep-compatibility key for the REACT batch kernel.
+
+        Lanes can share one
+        :class:`~repro.buffers.react_batch.ReactBatchKernel` when they share
+        the full :class:`~repro.core.config.ReactConfig` (bank fabric shape,
+        thresholds, poll rate, overhead powers) and the controller's
+        expansion rate limit, because the kernel vectorizes per-bank updates
+        over a uniform ``(lanes, bank_count)`` array with shared clamp and
+        leakage constants.  Requires the class to vouch for its hooks
+        (:attr:`batch_exact`), the stock leakage models the kernel
+        vectorizes, and history recording to be off (per-step history is a
+        scalar-engine feature).
+        """
+        if not self.batch_exact:
+            return None
+        if self.controller.record_history:
+            return None
+        hardware = self.hardware
+        if type(hardware.last_level.leakage) is not VoltageProportionalLeakage:
+            return None
+        for bank in hardware.banks:
+            if type(bank.leakage) not in (
+                VoltageProportionalLeakage,
+                ConstantCurrentLeakage,
+            ):
+                return None
+        return ("react", self.config, self.controller.expansion_min_interval)
 
     # -- off-phase fast forwarding --------------------------------------------------
 

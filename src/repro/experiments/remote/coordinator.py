@@ -72,12 +72,23 @@ DEFAULT_LOCAL_WORKERS = 2
 DEFAULT_SHARD_TIMEOUT = 900.0
 
 
+#: Default wall-clock a single shard should aim for once the per-cell cost
+#: is known (see ``RemoteBackend(shard_target_seconds=...)``).  Small enough
+#: that one straggler shard cannot serialize the drain of a sweep whose
+#: cells turned out heavy, large enough that dispatch overhead stays noise.
+DEFAULT_SHARD_TARGET_SECONDS = 30.0
+
+
 @dataclass
 class _Shard:
     """One unit of dispatch: a contiguous slice of one lane/trace group."""
 
     shard_id: int
     indices: Tuple[int, ...]
+    #: Smallest piece this shard may be re-split into (``min_lanes`` for
+    #: lane-group shards — narrower would run scalar inside a ``batch``
+    #: inner — and 1 for unbatchable cells).
+    floor: int = 1
     attempts: int = 0
     done: bool = False
     last_error: Optional[str] = None
@@ -88,6 +99,7 @@ class RemoteReport:
     """What one remote sweep did, for logging, tests, and debugging."""
 
     shards_total: int = 0
+    shard_splits: int = 0
     workers_connected: int = 0
     workers_lost: int = 0
     dispatches: int = 0
@@ -111,6 +123,10 @@ def plan_shards(
     ``batch`` inner anyway — while unbatchable groups may split down to
     single specs (they are the heaviest cells).  Every spec lands in
     exactly one shard, and shard-internal order is spec order.
+
+    This initial plan sizes shards from lane counts alone; once shards
+    complete, the coordinator re-splits still-pending wide shards from the
+    observed per-cell wall-clock (see ``_Coordinator._retune_pending``).
     """
     lane_groups, singles = partition_batchable(specs)
     single_groups: Dict[object, List[int]] = {}
@@ -126,7 +142,13 @@ def plan_shards(
     for group, floor in groups:
         chunks = min(chunks_per_group, max(1, len(group) // max(1, floor)))
         for piece in _split_evenly(group, chunks):
-            shards.append(_Shard(shard_id=len(shards), indices=tuple(piece)))
+            shards.append(
+                _Shard(
+                    shard_id=len(shards),
+                    indices=tuple(piece),
+                    floor=max(1, floor),
+                )
+            )
     return shards
 
 
@@ -194,6 +216,7 @@ class RemoteBackend:
         *,
         min_lanes: int = DEFAULT_SCALAR_TAIL_LANES + 1,
         shard_timeout: Optional[float] = DEFAULT_SHARD_TIMEOUT,
+        shard_target_seconds: Optional[float] = DEFAULT_SHARD_TARGET_SECONDS,
         heartbeat_timeout: float = 20.0,
         max_shard_retries: int = 2,
         worker_timeout: float = 60.0,
@@ -216,11 +239,17 @@ class RemoteBackend:
                 "a remote backend with no local workers needs a listen "
                 "address for external workers to connect to"
             )
+        if shard_target_seconds is not None and shard_target_seconds <= 0.0:
+            raise ConfigurationError(
+                f"shard_target_seconds must be positive (or None to keep "
+                f"the initial shard plan), got {shard_target_seconds}"
+            )
         self.inner = inner
         self.workers = workers
         self.listen = listen
         self.min_lanes = min_lanes
         self.shard_timeout = shard_timeout
+        self.shard_target_seconds = shard_target_seconds
         self.heartbeat_timeout = heartbeat_timeout
         self.max_shard_retries = max_shard_retries
         self.worker_timeout = worker_timeout
@@ -261,6 +290,10 @@ class _Coordinator:
         self.shards = plan_shards(specs, backend.workers or 1, backend.min_lanes)
         self.shard_by_id = {shard.shard_id: shard for shard in self.shards}
         self.pending: deque = deque(self.shards)
+        self._next_shard_id = len(self.shards)
+        #: EWMA of observed per-cell wall-clock, seeded by the first
+        #: completed shard; drives the pending-shard retune.
+        self._per_cell_seconds: Optional[float] = None
         self.results: List[Optional[SimulationResult]] = [None] * len(specs)
         self.completed = 0
         self.events: "queue.Queue[tuple]" = queue.Queue()
@@ -507,6 +540,75 @@ class _Coordinator:
             self.completed,
             len(self.shards),
         )
+        self._observe_shard_cost(shard, message.wall_seconds)
+
+    def _observe_shard_cost(self, shard: _Shard, wall_seconds: float) -> None:
+        """Fold one completed shard into the per-cell wall-clock estimate."""
+        if self.backend.shard_target_seconds is None or wall_seconds <= 0.0:
+            return
+        per_cell = wall_seconds / max(1, len(shard.indices))
+        if self._per_cell_seconds is None:
+            self._per_cell_seconds = per_cell
+        else:
+            # Equal-weight EWMA: recent shards dominate, so an estimate
+            # seeded by an unrepresentative first shard keeps correcting.
+            self._per_cell_seconds = 0.5 * self._per_cell_seconds + 0.5 * per_cell
+        self._retune_pending()
+
+    def _retune_pending(self) -> None:
+        """Re-split never-dispatched shards toward the target wall-clock.
+
+        :func:`plan_shards` sizes shards from lane counts alone (~2 per
+        worker, whatever the per-cell cost); once completed shards reveal
+        how expensive a cell actually is, any pending shard predicted to
+        run well past ``shard_target_seconds`` is split down — never below
+        its group ``floor`` — so stragglers shrink, workers stay balanced
+        through the drain, and a requeued retry re-runs less work.  Shards
+        that already dispatched once keep their identity: splitting them
+        would reset the per-shard retry ledger.
+        """
+        per_cell = self._per_cell_seconds
+        target = self.backend.shard_target_seconds
+        if per_cell is None or target is None or per_cell <= 0.0:
+            return
+        limit = max(1, int(target / per_cell))
+        retuned: deque = deque()
+        for shard in self.pending:
+            chunks = 1
+            if shard.attempts == 0 and len(shard.indices) > max(limit, shard.floor):
+                chunks = min(
+                    -(-len(shard.indices) // limit),  # ceil → pieces near target
+                    len(shard.indices) // shard.floor,
+                )
+            if chunks <= 1:
+                retuned.append(shard)
+                continue
+            del self.shard_by_id[shard.shard_id]
+            self.shards.remove(shard)
+            pieces = _split_evenly(list(shard.indices), chunks)
+            for piece in pieces:
+                replacement = _Shard(
+                    shard_id=self._next_shard_id,
+                    indices=tuple(piece),
+                    floor=shard.floor,
+                )
+                self._next_shard_id += 1
+                self.shards.append(replacement)
+                self.shard_by_id[replacement.shard_id] = replacement
+                retuned.append(replacement)
+            self.report.shard_splits += 1
+            log.info(
+                "retuned shard %d (%d specs ≈ %.1fs at %.3fs/cell) into %d "
+                "shards of ~%d specs",
+                shard.shard_id,
+                len(shard.indices),
+                len(shard.indices) * per_cell,
+                per_cell,
+                len(pieces),
+                max(len(piece) for piece in pieces),
+            )
+        self.pending = retuned
+        self.report.shards_total = len(self.shards)
 
     def _shard_failed(
         self, handle: _WorkerHandle, message: protocol.ShardFailure

@@ -74,12 +74,13 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.buffers.morphy_batch import MorphyBatchKernel
+from repro.buffers.react_batch import ReactBatchKernel
 from repro.buffers.static import StaticBatchKernel
 from repro.exceptions import SimulationError
 from repro.platform.mcu import PowerMode
 from repro.sim.engine import Simulator
 from repro.sim.results import SimulationResult
-from repro.sim.segments import LaneSegmentPlanner
+from repro.sim.segments import LaneSegmentPlanner, cluster_expiry_budgets
 from repro.sim.system import BatterylessSystem
 from repro.workloads.base import StepContext
 
@@ -92,7 +93,11 @@ DEFAULT_SCALAR_TAIL_LANES = 4
 #: None; lanes of different kernel families never share a batch (the
 #: experiment layer partitions on
 #: :meth:`~repro.buffers.base.EnergyBuffer.batch_key` before building one).
-KERNEL_BUILDERS = (StaticBatchKernel.build, MorphyBatchKernel.build)
+KERNEL_BUILDERS = (
+    StaticBatchKernel.build,
+    MorphyBatchKernel.build,
+    ReactBatchKernel.build,
+)
 
 
 def build_batch_kernel(buffers):
@@ -125,6 +130,7 @@ class BatchSimulator:
         max_steps: int = 50_000_000,
         scalar_tail_lanes: int = DEFAULT_SCALAR_TAIL_LANES,
         fast_forward: bool = True,
+        cluster_hint_expiries: bool = True,
     ) -> None:
         if not systems:
             raise SimulationError("a batch simulation needs at least one system")
@@ -155,6 +161,18 @@ class BatchSimulator:
         #: loop's electrical arithmetic is always step-by-step (that is
         #: what vectorizes) — pass False for pure step-by-step ablations.
         self.fast_forward = fast_forward
+        #: Whether on-phase segment plans may align the budgets of lanes
+        #: whose hint expiries nearly coincide (see
+        #: :func:`~repro.sim.segments.cluster_expiry_budgets`) — a pure
+        #: budget reduction, so trajectories are identical either way.
+        #: Clustering only engages when the kernel also declares
+        #: ``wants_expiry_clustering``: it trades skip length for
+        #: phase-lock, which pays off for REACT's all-lanes-must-agree
+        #: replay but measurably slows kernels whose lanes replay fine
+        #: unaligned (the Morphy and capacitance sweeps profile slower
+        #: with it forced on).  ``False`` disables it outright — the
+        #: differential suite pins the bit-equality claim on that knob.
+        self.cluster_hint_expiries = cluster_hint_expiries
 
         reference = self.systems[0].frontend
         for system in self.systems:
@@ -259,9 +277,22 @@ class BatchSimulator:
         enable_voltage = np.array([g.enable_voltage for g in gates])
         brownout_voltage = np.array([g.brownout_voltage for g in gates])
         quiescent = np.array([g.quiescent_current for g in gates])
-        off_load = quiescent + np.array(
-            [b.overhead_current(False) for b in buffers]
-        )
+        # Buffers whose overhead current depends on live state (REACT's
+        # tracks the output voltage and connected-bank count) cannot have
+        # it cached at batch start: their kernel declares
+        # ``dynamic_overhead`` and the loop instead adds
+        # ``kernel.overhead_current(enabled)`` to the assembled load every
+        # step — re-evaluated at the exact point the scalar engine calls
+        # ``buffer.overhead_current`` — while the static contributions here
+        # are zeroed (adding 0.0 first keeps the scalar addition order:
+        # ``(q + 0.0) + o == q + o``).
+        dynamic_overhead = bool(getattr(kernel, "dynamic_overhead", False))
+        if dynamic_overhead:
+            off_load = quiescent + np.zeros(n)
+        else:
+            off_load = quiescent + np.array(
+                [b.overhead_current(False) for b in buffers]
+            )
         raw_energy = np.zeros(n)
         delivered_energy = np.zeros(n)
 
@@ -283,7 +314,10 @@ class BatchSimulator:
         time_deep_sleep = [
             m.time_in_mode.get(PowerMode.DEEP_SLEEP, 0.0) for m in mcus
         ]
-        on_overhead = [b.overhead_current(True) for b in buffers]
+        if dynamic_overhead:
+            on_overhead = [0.0] * n
+        else:
+            on_overhead = [b.overhead_current(True) for b in buffers]
 
         results: List[Optional[SimulationResult]] = [None] * n
 
@@ -403,6 +437,10 @@ class BatchSimulator:
         all_past_trace = False
         scalar_tail_lanes = self.scalar_tail_lanes
         quiescent_list = quiescent.tolist()
+        kernel_set_system_on = getattr(kernel, "set_system_on", None)
+        cluster_hints = self.cluster_hint_expiries and bool(
+            getattr(kernel, "wants_expiry_clustering", False)
+        )
         dt_on_full = np.full(n, dt_on)
         dt_off_full = np.full(n, dt_off)
         # Zero-order-hold trace lookup table (sentinel zero sample past the
@@ -607,6 +645,8 @@ class BatchSimulator:
                             np.asarray(hint_wake),
                             budget,
                         )
+                        if cluster_hints:
+                            plan = cluster_expiry_budgets(plan, until, dt_on)
                         group = plan.steps > 0
                         if group.any() and (
                             not needs_full_batch or bool(group.all())
@@ -886,6 +926,15 @@ class BatchSimulator:
                         )
             else:
                 load = off_load
+            if dynamic_overhead:
+                # State-dependent overhead, evaluated fresh against the
+                # post-harvest buffer state — the observation point where
+                # the scalar engine calls ``buffer.overhead_current`` while
+                # assembling the load.  Adding it last preserves the
+                # scalar addition order for both phases (the static
+                # contribution above was built with ``+ 0.0`` in its
+                # place).
+                load = load + kernel.overhead_current(enabled)
             if have_skipped:
                 # Zero the load too: a zero current (not just zero dt) is
                 # what makes the draw an exact no-op for every kernel.
@@ -893,6 +942,11 @@ class BatchSimulator:
             kernel.draw(load, dt)
 
             # -- 4. buffer housekeeping (leakage + controller polling) --
+            if kernel_set_system_on is not None:
+                # Kernels running a software controller (REACT's poll) need
+                # the power-gate phase: the scalar engine passes post-gating
+                # ``system_on`` into buffer.housekeeping.
+                kernel_set_system_on(enabled)
             if have_skipped:
                 # Suppress time-triggered controller polls for lanes whose
                 # clocks already ran ahead during the segment replay.

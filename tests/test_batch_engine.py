@@ -13,10 +13,12 @@ and the runner/CLI wiring of the third execution mode.
 import numpy as np
 import pytest
 
+from repro.buffers.capybara import CapybaraBuffer
 from repro.buffers.dewdrop import DewdropBuffer
 from repro.buffers.morphy import MorphyBuffer
 from repro.buffers.morphy_batch import MorphyBatchKernel
 from repro.buffers.react_adapter import ReactBuffer
+from repro.buffers.react_batch import ReactBatchKernel
 from repro.buffers.static import StaticBatchKernel, StaticBuffer
 from repro.capacitors.leakage import (
     ConstantCurrentLeakage,
@@ -35,10 +37,10 @@ from repro.experiments.runner import (
 from repro.harvester.regulator import BoostRegulator, IdealRegulator, Regulator
 from repro.harvester.trace import PowerTrace
 from repro.platform.mcu import MSP430FR5994
-from repro.sim.batch import BatchSimulator
+from repro.sim.batch import KERNEL_BUILDERS, BatchSimulator
 from repro.sim.engine import Simulator
 from repro.sim.system import BatterylessSystem
-from repro.units import microfarads, millifarads
+from repro.units import microfarads, milliamps, millifarads
 
 QUICK = ExperimentSettings(quick=True)
 
@@ -75,9 +77,22 @@ def morphy_variant_buffers():
     ]
 
 
+def react_variant_buffers():
+    """Two config-sharing REACT adapters (one lockstep kernel, distinct
+    polling hints), so every trace group packs enough REACT lanes to batch."""
+    return [
+        ReactBuffer(name="REACT"),
+        ReactBuffer(name="REACT 3 mA", active_current_hint=milliamps(3.0)),
+    ]
+
+
 def mixed_kernel_buffers():
-    """Static-kernel and Morphy-kernel lanes side by side in one grid."""
-    return static_and_dewdrop_buffers() + morphy_variant_buffers()
+    """Static-kernel, Morphy-kernel and REACT-kernel lanes in one grid."""
+    return (
+        static_and_dewdrop_buffers()
+        + morphy_variant_buffers()
+        + react_variant_buffers()
+    )
 
 
 def simulator_kwargs(settings=QUICK):
@@ -121,10 +136,36 @@ class TestBatchability:
             assert buffer.can_batch()
             assert buffer.batch_key() == "static"
 
-    def test_morphy_is_batchable_react_is_not(self):
+    def test_morphy_and_react_are_batchable(self):
         assert MorphyBuffer().can_batch()
-        assert not ReactBuffer().can_batch()
-        assert ReactBuffer().batch_key() is None
+        assert ReactBuffer().can_batch()
+        assert ReactBuffer().batch_key() is not None
+
+    def test_react_batch_key_groups_by_config(self):
+        """Config-sharing REACT lanes batch; the polling hint may differ."""
+        assert (
+            ReactBuffer(active_current_hint=milliamps(0.5)).batch_key()
+            == ReactBuffer(active_current_hint=milliamps(3.0)).batch_key()
+        )
+        slow = ReactBuffer()
+        slow.controller.expansion_min_interval *= 2.0
+        assert slow.batch_key() != ReactBuffer().batch_key()
+
+    def test_react_history_recording_disables_batching(self):
+        buffer = ReactBuffer()
+        buffer.controller.record_history = True
+        assert not buffer.can_batch()
+        assert ReactBatchKernel.build([buffer]) is None
+
+    def test_capybara_stays_scalar(self):
+        """Capybara is a different architecture (base + task capacitor with
+        software-directed surplus steering, no bank fabric): no lockstep
+        kernel claims it, so its lanes always run the scalar engine."""
+        buffer = CapybaraBuffer()
+        assert not buffer.can_batch()
+        assert buffer.batch_key() is None
+        for build in KERNEL_BUILDERS:
+            assert build([buffer]) is None
 
     def test_morphy_batch_key_groups_by_topology(self):
         """Same topology batches together; unit capacitance may differ."""
@@ -153,6 +194,10 @@ class TestBatchability:
             MorphyBatchKernel.build([MorphyBuffer(), MorphyBuffer(cap_count=4)])
             is None
         )
+        assert ReactBatchKernel.build([ReactBuffer(), MorphyBuffer()]) is None
+        slow = ReactBuffer()
+        slow.controller.expansion_min_interval *= 2.0
+        assert ReactBatchKernel.build([ReactBuffer(), slow]) is None
 
     def test_leakage_stacking(self):
         stacked = stack_proportional_leakage(
@@ -563,12 +608,163 @@ class TestMorphyBatchEquivalence:
             assert_results_equivalent(ref, got)
 
 
+class TestReactBatchEquivalence:
+    """The REACT lockstep kernel against the scalar engine.
+
+    Same discipline as the static and Morphy lanes: bit-identical against
+    step-by-step execution (counters, timestamps, *and* ledgers), 1e-9
+    ledgers against the scalar default fast path.  The lanes mix workloads
+    and polling hints so poll schedules, bank states, and power-gate
+    phases all diverge across the batch.
+    """
+
+    def systems(self, trace, workloads=("DE", "SC")):
+        return [
+            build_system(trace, buffer, workload, trace.name)
+            for workload in workloads
+            for buffer in react_variant_buffers()
+        ]
+
+    def test_bitwise_equal_to_step_by_step_engine(self):
+        trace = QUICK.trace("RF Cart")
+        reference = [
+            Simulator(system, fast_forward=False, **simulator_kwargs()).run()
+            for system in self.systems(trace)
+        ]
+        batched = BatchSimulator(
+            self.systems(trace), scalar_tail_lanes=0, fast_forward=False,
+            **simulator_kwargs(),
+        ).run()
+        for ref, got in zip(reference, batched):
+            assert_results_equivalent(ref, got, exact_ledgers=True)
+
+    def test_fast_forward_matches_scalar_fast_path(self):
+        trace = QUICK.trace("RF Cart")
+        reference = [
+            Simulator(system, **simulator_kwargs()).run()
+            for system in self.systems(trace)
+        ]
+        batched = BatchSimulator(
+            self.systems(trace), scalar_tail_lanes=0, **simulator_kwargs()
+        ).run()
+        for ref, got in zip(reference, batched):
+            assert_results_equivalent(ref, got)
+
+    def test_reconfiguration_heavy_lanes_match_bitwise(self):
+        """Solar lanes drive the 10 Hz controller through many bank steps."""
+        trace = QUICK.trace("Solar Campus")
+        reference = [
+            Simulator(system, fast_forward=False, **simulator_kwargs()).run()
+            for system in self.systems(trace, workloads=("SC", "RT"))
+        ]
+        batched = BatchSimulator(
+            self.systems(trace, workloads=("SC", "RT")),
+            scalar_tail_lanes=0,
+            fast_forward=False,
+            **simulator_kwargs(),
+        ).run()
+        for ref, got in zip(reference, batched):
+            assert_results_equivalent(ref, got, exact_ledgers=True)
+
+    def test_controller_and_fabric_state_write_back(self):
+        """Finalized lanes land every counter on the live objects exactly:
+        controller tallies, bank states and cell voltages, switch-pole
+        actuation counts and energies, and the hardware loss counters."""
+        trace = QUICK.trace("Solar Campus")
+        scalar_systems = self.systems(trace, workloads=("SC",))
+        for system in scalar_systems:
+            Simulator(system, fast_forward=False, **simulator_kwargs()).run()
+        batch_systems = self.systems(trace, workloads=("SC",))
+        BatchSimulator(
+            batch_systems, scalar_tail_lanes=0, fast_forward=False,
+            **simulator_kwargs(),
+        ).run()
+        assert any(
+            s.buffer.controller.step_up_count > 0 for s in scalar_systems
+        )
+        for ref, got in zip(scalar_systems, batch_systems):
+            ref_buffer, got_buffer = ref.buffer, got.buffer
+            assert (
+                got_buffer.controller.poll_count
+                == ref_buffer.controller.poll_count
+            )
+            assert (
+                got_buffer.controller.step_up_count
+                == ref_buffer.controller.step_up_count
+            )
+            assert (
+                got_buffer.controller.step_down_count
+                == ref_buffer.controller.step_down_count
+            )
+            assert (
+                got_buffer.controller._next_poll_time
+                == ref_buffer.controller._next_poll_time
+            )
+            assert (
+                got_buffer.hardware.monitor.last_signal
+                is ref_buffer.hardware.monitor.last_signal
+            )
+            assert (
+                got_buffer.hardware.energy_leaked
+                == ref_buffer.hardware.energy_leaked
+            )
+            assert (
+                got_buffer.hardware.transfer_loss
+                == ref_buffer.hardware.transfer_loss
+            )
+            for ref_bank, got_bank in zip(
+                ref_buffer.hardware.banks, got_buffer.hardware.banks
+            ):
+                assert got_bank.state is ref_bank.state
+                assert got_bank.cell_voltage == ref_bank.cell_voltage
+                assert (
+                    got_bank.reconfiguration_count
+                    == ref_bank.reconfiguration_count
+                )
+                for ref_pole, got_pole in (
+                    (ref_bank.switch.pole_a, got_bank.switch.pole_a),
+                    (ref_bank.switch.pole_b, got_bank.switch.pole_b),
+                ):
+                    assert got_pole.state is ref_pole.state
+                    assert got_pole.actuation_count == ref_pole.actuation_count
+                    assert got_pole.energy_spent == ref_pole.energy_spent
+
+    def test_hint_expiry_clustering_is_bit_neutral(self):
+        """Shared-expiry clustering only trims replay budgets (invariant 1
+        of the segment plan), so clustered and unclustered batched runs
+        must be bit-identical — the clustering buys fewer, wider lockstep
+        groups, never a different trajectory."""
+        trace = QUICK.trace("RF Cart")
+        clustered = BatchSimulator(
+            self.systems(trace), scalar_tail_lanes=0, **simulator_kwargs()
+        ).run()
+        unclustered = BatchSimulator(
+            self.systems(trace),
+            scalar_tail_lanes=0,
+            cluster_hint_expiries=False,
+            **simulator_kwargs(),
+        ).run()
+        for ref, got in zip(unclustered, clustered):
+            assert_results_equivalent(ref, got, exact_ledgers=True)
+
+    def test_scalar_tail_handoff_changes_nothing(self):
+        trace = QUICK.trace("RF Cart")
+        pure = BatchSimulator(
+            self.systems(trace), scalar_tail_lanes=0, **simulator_kwargs()
+        ).run()
+        with_tail = BatchSimulator(
+            self.systems(trace), scalar_tail_lanes=3, **simulator_kwargs()
+        ).run()
+        for ref, got in zip(pure, with_tail):
+            assert_results_equivalent(ref, got)
+
+
 class TestBatchSimulatorValidation:
     def test_rejects_unbatchable_buffers(self):
         trace = QUICK.trace("RF Cart")
         with pytest.raises(SimulationError, match="batched kernel"):
             BatchSimulator(
-                [build_system(trace, ReactBuffer(), "DE", "RF Cart")]
+                [build_system(trace, CapybaraBuffer(), "DE", "RF Cart")]
             )
 
     def test_rejects_mixed_kernel_families(self):
@@ -668,20 +864,36 @@ class TestFullGridEquivalence:
         for ref, got in zip(serial, batched):
             assert_results_equivalent(ref, got)
 
-    def test_mixed_kernel_grid_batches_both_families(self):
-        """Static and Morphy lanes of one trace batch in separate kernels."""
+    def test_full_quick_grid_react(self):
+        """The REACT acceptance gate: batched == scalar on the full quick grid.
+
+        Every workload × trace cell with two config-sharing REACT lanes, so
+        each trace group packs eight REACT lanes into one lockstep kernel.
+        """
+        serial = ExperimentRunner(
+            QUICK, buffer_factory=react_variant_buffers
+        ).run_grid()
+        batched = ExperimentRunner(
+            QUICK, buffer_factory=react_variant_buffers, backend=BatchBackend()
+        ).run_grid()
+        assert len(serial) == len(batched) == 4 * 5 * 2  # workloads×traces×buffers
+        for ref, got in zip(serial, batched):
+            assert_results_equivalent(ref, got)
+
+    def test_mixed_kernel_grid_batches_every_family(self):
+        """Static, Morphy and REACT lanes of one trace batch in separate kernels."""
         serial = ExperimentRunner(
             QUICK, buffer_factory=mixed_kernel_buffers
         ).run_grid(trace_names=("RF Cart",))
         batched = ExperimentRunner(
             QUICK, buffer_factory=mixed_kernel_buffers, backend=BatchBackend()
         ).run_grid(trace_names=("RF Cart",))
-        assert len(serial) == len(batched) == 4 * 6
+        assert len(serial) == len(batched) == 4 * 8
         for ref, got in zip(serial, batched):
             assert_results_equivalent(ref, got)
 
     def test_mixed_grid_falls_back_per_lane(self):
-        """REACT cells (and narrow Morphy groups) run scalar, in serial order."""
+        """Capybara cells (and narrow kernel groups) run scalar, in serial order."""
         serial = ExperimentRunner(QUICK).run_grid(
             workloads=("SC",), trace_names=("RF Cart",)
         )

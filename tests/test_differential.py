@@ -147,40 +147,49 @@ def build_batch_case(case_seed: int):
     """A randomized trace-sharing lane mix for the batch engine.
 
     One shared synthetic trace, one shared timestep pair, and 3–6 lanes of
-    random batchable buffers and workloads — alternating between the
-    static-kernel family (statics and Dewdrop mixed in one kernel) and the
+    random batchable buffers and workloads — cycling between the
+    static-kernel family (statics and Dewdrop mixed in one kernel), the
     Morphy kernel family (topology-sharing arrays with random unit
-    capacitances), since one lockstep kernel only batches one family.
-    Returns a fresh-systems factory plus the simulator kwargs so the
-    scalar oracle and the batch run each simulate untouched systems.
+    capacitances), and the REACT kernel family (config-sharing banks with
+    random per-lane polling hints), since one lockstep kernel only batches
+    one family.  Returns a fresh-systems factory plus the simulator kwargs
+    so the scalar oracle and the batch run each simulate untouched systems.
     """
     rng = np.random.default_rng(77_000 + case_seed)
     trace = random_trace(rng)
     dt_on = float(rng.choice([0.01, 0.02, 0.04]))
     dt_off = dt_on * int(rng.integers(2, 6))
     max_drain = float(rng.choice([30.0, 120.0]))
-    morphy_family = bool(case_seed % 2)
+    family = case_seed % 3
     lane_seeds = [
         int(seed) for seed in rng.integers(0, 2**31, size=int(rng.integers(3, 7)))
     ]
+
+    def lane_buffer(lane_rng: np.random.Generator):
+        if family == 0:
+            return MorphyBuffer(
+                unit_capacitance=float(lane_rng.uniform(5e-4, 3e-3)),
+            )
+        if family == 1:
+            # The polling hint is per-lane kernel state, not part of the
+            # batch key, so hint-diverse REACT lanes share one kernel.
+            return ReactBuffer(
+                active_current_hint=float(lane_rng.uniform(5e-4, 3e-3)),
+            )
+        if int(lane_rng.integers(0, 2)):
+            return StaticBuffer(float(lane_rng.uniform(3e-4, 2e-2)), name="static")
+        return DewdropBuffer(float(lane_rng.uniform(2e-3, 2e-2)))
 
     def systems():
         built = []
         for lane_seed in lane_seeds:
             lane_rng = np.random.default_rng(lane_seed)
-            if morphy_family:
-                buffer = MorphyBuffer(
-                    unit_capacitance=float(lane_rng.uniform(5e-4, 3e-3)),
-                )
-            elif int(lane_rng.integers(0, 2)):
-                buffer = StaticBuffer(
-                    float(lane_rng.uniform(3e-4, 2e-2)), name="static"
-                )
-            else:
-                buffer = DewdropBuffer(float(lane_rng.uniform(2e-3, 2e-2)))
             built.append(
                 BatterylessSystem.build(
-                    trace, buffer, random_workload(lane_rng), mcu=MSP430FR5994()
+                    trace,
+                    lane_buffer(lane_rng),
+                    random_workload(lane_rng),
+                    mcu=MSP430FR5994(),
                 )
             )
         return built
@@ -203,6 +212,89 @@ def test_batch_lane_mix_matches_step_by_step_oracle(case_seed):
         for system in systems()
     ]
     batched = BatchSimulator(systems(), scalar_tail_lanes=0, **kwargs).run()
+    for lane, (oracle, fast) in enumerate(zip(reference, batched)):
+        context = (
+            f"case_seed={case_seed} lane={lane} "
+            f"{oracle.buffer_name}/{oracle.workload_name}"
+        )
+        for field in EXACT_FIELDS:
+            assert getattr(fast, field) == getattr(oracle, field), (
+                f"{context}: {field}"
+            )
+        assert fast.workload_metrics == oracle.workload_metrics, context
+        for key, value in oracle.buffer_ledger.items():
+            assert fast.buffer_ledger[key] == pytest.approx(
+                value, rel=1e-9, abs=1e-15
+            ), f"{context}: {key}"
+
+
+def build_mixed_grid_case(case_seed: int):
+    """A randomized REACT + static/Dewdrop lane mix on one shared trace.
+
+    Models what the batch backend sees on a heterogeneous grid cell: lanes
+    from different kernel families interleaved in submission order.  The
+    test partitions them by ``batch_key`` exactly like the backend before
+    handing each group to its own :class:`BatchSimulator`.
+    """
+    rng = np.random.default_rng(88_000 + case_seed)
+    trace = random_trace(rng)
+    dt_on = float(rng.choice([0.01, 0.02, 0.04]))
+    dt_off = dt_on * int(rng.integers(2, 6))
+    max_drain = float(rng.choice([30.0, 120.0]))
+    lane_seeds = [
+        int(seed) for seed in rng.integers(0, 2**31, size=int(rng.integers(6, 10)))
+    ]
+
+    def systems():
+        built = []
+        for lane, lane_seed in enumerate(lane_seeds):
+            lane_rng = np.random.default_rng(lane_seed)
+            if lane % 2:
+                buffer = ReactBuffer(
+                    active_current_hint=float(lane_rng.uniform(5e-4, 3e-3)),
+                )
+            elif int(lane_rng.integers(0, 2)):
+                buffer = StaticBuffer(
+                    float(lane_rng.uniform(3e-4, 2e-2)), name="static"
+                )
+            else:
+                buffer = DewdropBuffer(float(lane_rng.uniform(2e-3, 2e-2)))
+            built.append(
+                BatterylessSystem.build(
+                    trace, buffer, random_workload(lane_rng), mcu=MSP430FR5994()
+                )
+            )
+        return built
+
+    return systems, dict(dt_on=dt_on, dt_off=dt_off, max_drain_time=max_drain)
+
+
+@pytest.mark.parametrize("case_seed", range(4))
+def test_mixed_react_static_grid_matches_step_by_step_oracle(case_seed):
+    """REACT and static-family lanes of one grid, each batched per family.
+
+    Interleaved REACT and static/Dewdrop lanes are partitioned by
+    ``batch_key`` (the backend's contract) into per-family lockstep
+    kernels; every lane must agree with the step-by-step scalar oracle on
+    the exact counters, with ledgers within summation-order tolerance.
+    """
+    systems, kwargs = build_mixed_grid_case(case_seed)
+    reference = [
+        Simulator(system, fast_forward=False, **kwargs).run()
+        for system in systems()
+    ]
+    lanes = systems()
+    groups = {}
+    for index, system in enumerate(lanes):
+        groups.setdefault(system.buffer.batch_key(), []).append(index)
+    assert len(groups) >= 2, "case must actually mix kernel families"
+    batched = [None] * len(lanes)
+    for indices in groups.values():
+        results = BatchSimulator(
+            [lanes[i] for i in indices], scalar_tail_lanes=0, **kwargs
+        ).run()
+        for index, result in zip(indices, results):
+            batched[index] = result
     for lane, (oracle, fast) in enumerate(zip(reference, batched)):
         context = (
             f"case_seed={case_seed} lane={lane} "

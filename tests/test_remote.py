@@ -35,10 +35,12 @@ import time
 import pytest
 from test_backends import assert_results_equivalent
 
+from repro.buffers.capybara import CapybaraBuffer
 from repro.buffers.static import StaticBuffer
 from repro.exceptions import ConfigurationError, SweepTransportError
 from repro.experiments import sweep
 from repro.experiments.backends import (
+    SerialBackend,
     available_backends,
     backend_name_prefix,
     register_backend_prefix,
@@ -54,6 +56,7 @@ from repro.experiments.remote import (
     protocol,
     worker_command,
 )
+from repro.experiments.remote.coordinator import _Coordinator
 from repro.experiments.remote.worker import main as worker_main
 from repro.experiments.runner import ExperimentRunner, ExperimentSettings
 from repro.experiments.store import CachedBackend
@@ -68,6 +71,14 @@ def static_ladder_buffers():
     return [
         StaticBuffer(millifarads(0.5 * (index + 1)), name=f"{0.5 * (index + 1):.1f} mF")
         for index in range(6)
+    ]
+
+
+def capybara_pair_buffers():
+    """Two unbatchable lanes (in-process tests only): singles shards, floor 1."""
+    return [
+        CapybaraBuffer(name="Capybara A"),
+        CapybaraBuffer(task_capacitance=millifarads(20.0), name="Capybara B"),
     ]
 
 
@@ -191,6 +202,87 @@ class TestShardPlanning:
         )
 
 
+class TestShardRetuning:
+    """Observed per-cell wall-clock re-splits pending shards mid-sweep.
+
+    ``plan_shards`` sizes shards from lane counts alone (~2 per worker);
+    these tests drive ``_Coordinator._observe_shard_cost`` directly — no
+    sockets — and pin the retune invariants: splits respect the group
+    floor, dispatched shards keep their identity, bookkeeping stays
+    consistent, and the knob can be disabled.
+    """
+
+    def coordinator(self, buffer_factory, shard_target_seconds=30.0, **backend_kwargs):
+        specs = ExperimentRunner(QUICK, buffer_factory=buffer_factory).grid_specs(
+            workloads=("DE", "SC"), trace_names=("RF Cart",)
+        )
+        backend = RemoteBackend(
+            inner="serial",
+            workers=1,
+            shard_target_seconds=shard_target_seconds,
+            **backend_kwargs,
+        )
+        return _Coordinator(backend, list(specs))
+
+    def assert_consistent(self, run):
+        """Every spec still lands in exactly one live shard, ids resolve."""
+        seen = sorted(
+            index for shard in run.shards if not shard.done for index in shard.indices
+        )
+        assert seen == list(range(len(run.specs)))
+        for shard in run.pending:
+            assert run.shard_by_id[shard.shard_id] is shard
+        assert run.report.shards_total == len(run.shards)
+
+    def test_observed_heavy_cells_split_pending_shards(self):
+        run = self.coordinator(capybara_pair_buffers)
+        assert [len(shard.indices) for shard in run.pending] == [2, 2]
+        first = run.pending.popleft()
+        first.attempts = 1  # in flight on a worker
+        # 20 s/cell against a 30 s target: pending shards shrink to 1 cell.
+        run._observe_shard_cost(first, wall_seconds=40.0)
+        assert run.report.shard_splits == 1
+        assert [len(shard.indices) for shard in run.pending] == [1, 1]
+        run.pending.appendleft(first)
+        self.assert_consistent(run)
+
+    def test_cheap_cells_leave_the_plan_alone(self):
+        run = self.coordinator(capybara_pair_buffers)
+        before = [shard.shard_id for shard in run.pending]
+        run._observe_shard_cost(run.pending[0], wall_seconds=0.02)
+        assert [shard.shard_id for shard in run.pending] == before
+        assert run.report.shard_splits == 0
+
+    def test_lane_groups_never_split_below_min_lanes(self):
+        # Six static lanes in one shard with a floor of five: even at
+        # 20 s/cell the retune cannot carve off a sub-floor piece.
+        run = self.coordinator(static_ladder_buffers, min_lanes=5)
+        wide = run.pending[0]
+        assert len(wide.indices) == 6
+        run._observe_shard_cost(wide, wall_seconds=20.0 * len(wide.indices))
+        assert all(len(shard.indices) >= 5 for shard in run.pending)
+        assert run.report.shard_splits == 0
+
+    def test_requeued_shards_keep_their_identity(self):
+        run = self.coordinator(capybara_pair_buffers)
+        requeued = run.pending[0]
+        requeued.attempts = 1  # already dispatched once, then requeued
+        run._observe_shard_cost(run.pending[1], wall_seconds=40.0)
+        assert requeued in run.pending  # never split: retry ledger survives
+        assert len(requeued.indices) == 2
+
+    def test_none_disables_retuning(self):
+        run = self.coordinator(capybara_pair_buffers, shard_target_seconds=None)
+        before = [shard.shard_id for shard in run.pending]
+        run._observe_shard_cost(run.pending[0], wall_seconds=1e6)
+        assert [shard.shard_id for shard in run.pending] == before
+        assert run._per_cell_seconds is None
+
+    def test_non_positive_target_rejected(self):
+        with pytest.raises(ConfigurationError, match="shard_target_seconds"):
+            RemoteBackend(inner="serial", workers=1, shard_target_seconds=0.0)
+
+
 # ----------------------------------------------------------------------
 # Registry composition (the shared backend-prefix mechanism)
 # ----------------------------------------------------------------------
@@ -262,6 +354,25 @@ class TestRemoteEquivalence:
         for reference, candidate in zip(serial_full_grid.results, remote.results):
             assert_results_equivalent(reference, candidate)
         assert seen == [result.buffer_name for result in serial_full_grid.results]
+
+    def test_mid_sweep_retune_splits_shards_and_matches_serial(self):
+        """A sub-second shard target forces observed-cost re-splitting on
+        the first completion; the re-sharded drain must stay bit-identical
+        to serial and the report must record the splits."""
+        specs = ExperimentRunner(QUICK).grid_specs(
+            workloads=("DE", "SC"), trace_names=("RF Cart",)
+        )
+        serial = SerialBackend().run_specs(specs)
+        backend = RemoteBackend(
+            inner="serial", workers=2, min_lanes=1, shard_target_seconds=1e-6
+        )
+        remote = backend.run_specs(specs)
+        report = backend.last_run_report
+        assert report.shard_splits > 0
+        assert report.shards_total > len(plan_shards(specs, workers=2, min_lanes=1))
+        assert len(remote) == len(serial)
+        for reference, candidate in zip(serial, remote):
+            assert_results_equivalent(reference, candidate)
 
     def test_worker_sigkill_mid_sweep_still_matches_serial(
         self, serial_full_grid, monkeypatch
